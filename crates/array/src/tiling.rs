@@ -1,0 +1,408 @@
+//! Array tiling: chunking large arrays into ~128 KB tiles (Figure 2.3).
+//!
+//! Paper §2.5.1: *"For very large arrays the array ADT code chunks the array
+//! into subarrays called tiles such that the size of each tile is
+//! approximately 128 Kbytes. Each tile is stored as a separate SHORE object
+//! as is a mapping table that keeps track of the objects used to store the
+//! subarrays. Each subarray has the same dimensionality as the original
+//! array and the size of each dimension is proportional to the size of each
+//! dimension in the original array"* (the Sarawagi \[Suni94\] scheme).
+//!
+//! The decomposition lets Paradise *"fetch only those portions that are
+//! required to execute an operation. For example, when clipping a satellite
+//! image by one or more polygons only the relevant tiles will be read from
+//! disk or tape."*
+
+use crate::lzw;
+use crate::ndarray::{ElemType, NdArray};
+use crate::{ArrayError, Result};
+
+/// Paradise's default tile payload target: 128 KB.
+pub const DEFAULT_TILE_BYTES: usize = 128 * 1024;
+
+/// How an array of a given shape is cut into tiles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TilingScheme {
+    dims: Vec<usize>,
+    elem: ElemType,
+    /// Tile extent along each dimension.
+    tile_shape: Vec<usize>,
+    /// Number of tiles along each dimension: `ceil(dims[i] / tile_shape[i])`.
+    tiles_per_dim: Vec<usize>,
+}
+
+impl TilingScheme {
+    /// Computes a proportional chunking of `dims` targeting roughly
+    /// `target_bytes` per tile.
+    ///
+    /// Every dimension's tile extent is proportional to the dimension's
+    /// size: `t_i ≈ d_i · (target_elems / total_elems)^(1/N)`, clamped to
+    /// `1..=d_i`.
+    pub fn new(dims: &[usize], elem: ElemType, target_bytes: usize) -> Result<Self> {
+        if dims.is_empty() || dims.iter().any(|&d| d == 0) {
+            return Err(ArrayError::BadShape(dims.to_vec()));
+        }
+        let total_elems: usize = dims.iter().product();
+        let target_elems = (target_bytes.max(1) / elem.size()).max(1);
+        let scale = if target_elems >= total_elems {
+            1.0
+        } else {
+            (target_elems as f64 / total_elems as f64).powf(1.0 / dims.len() as f64)
+        };
+        let tile_shape: Vec<usize> = dims
+            .iter()
+            .map(|&d| (((d as f64) * scale).round() as usize).clamp(1, d))
+            .collect();
+        let tiles_per_dim: Vec<usize> = dims
+            .iter()
+            .zip(&tile_shape)
+            .map(|(&d, &t)| d.div_ceil(t))
+            .collect();
+        Ok(TilingScheme { dims: dims.to_vec(), elem, tile_shape, tiles_per_dim })
+    }
+
+    /// Array shape being tiled.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// The per-dimension tile extents.
+    pub fn tile_shape(&self) -> &[usize] {
+        &self.tile_shape
+    }
+
+    /// Tiles along each dimension.
+    pub fn tiles_per_dim(&self) -> &[usize] {
+        &self.tiles_per_dim
+    }
+
+    /// Total number of tiles.
+    pub fn num_tiles(&self) -> usize {
+        self.tiles_per_dim.iter().product()
+    }
+
+    /// Element type.
+    pub fn elem_type(&self) -> ElemType {
+        self.elem
+    }
+
+    /// Converts a per-dimension tile coordinate to a linear tile index
+    /// (row-major over tile coordinates).
+    pub fn tile_index(&self, coord: &[usize]) -> Result<usize> {
+        if coord.len() != self.dims.len() {
+            return Err(ArrayError::OutOfBounds);
+        }
+        let mut lin = 0;
+        for (&c, &n) in coord.iter().zip(&self.tiles_per_dim) {
+            if c >= n {
+                return Err(ArrayError::OutOfBounds);
+            }
+            lin = lin * n + c;
+        }
+        Ok(lin)
+    }
+
+    /// Inverse of [`TilingScheme::tile_index`].
+    pub fn tile_coord(&self, mut index: usize) -> Vec<usize> {
+        let mut coord = vec![0; self.dims.len()];
+        for d in (0..self.dims.len()).rev() {
+            coord[d] = index % self.tiles_per_dim[d];
+            index /= self.tiles_per_dim[d];
+        }
+        coord
+    }
+
+    /// The element-space origin and shape of tile `index` (edge tiles are
+    /// smaller when the dimension is not divisible).
+    pub fn tile_region(&self, index: usize) -> (Vec<usize>, Vec<usize>) {
+        let coord = self.tile_coord(index);
+        let lo: Vec<usize> = coord
+            .iter()
+            .zip(&self.tile_shape)
+            .map(|(&c, &t)| c * t)
+            .collect();
+        let shape: Vec<usize> = lo
+            .iter()
+            .zip(&self.tile_shape)
+            .zip(&self.dims)
+            .map(|((&l, &t), &d)| t.min(d - l))
+            .collect();
+        (lo, shape)
+    }
+
+    /// Linear indices of all tiles whose region intersects
+    /// `[lo, lo+shape)`. This is the tile filter a `clip` uses to read only
+    /// the relevant tiles.
+    pub fn tiles_overlapping(&self, lo: &[usize], shape: &[usize]) -> Result<Vec<usize>> {
+        if lo.len() != self.dims.len() || shape.len() != self.dims.len() {
+            return Err(ArrayError::OutOfBounds);
+        }
+        // Clamp the query region to the array bounds.
+        let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(self.dims.len());
+        for ((&l, &s), (&d, &t)) in lo
+            .iter()
+            .zip(shape)
+            .zip(self.dims.iter().zip(&self.tile_shape))
+        {
+            if s == 0 || l >= d {
+                return Ok(Vec::new());
+            }
+            let hi = (l + s).min(d); // exclusive
+            ranges.push((l / t, (hi - 1) / t));
+        }
+        // Cartesian product of per-dim tile ranges, in row-major order.
+        let mut out = Vec::new();
+        let mut coord: Vec<usize> = ranges.iter().map(|&(a, _)| a).collect();
+        loop {
+            out.push(self.tile_index(&coord)?);
+            let mut d = self.dims.len();
+            loop {
+                if d == 0 {
+                    return Ok(out);
+                }
+                d -= 1;
+                coord[d] += 1;
+                if coord[d] <= ranges[d].1 {
+                    break;
+                }
+                coord[d] = ranges[d].0;
+            }
+        }
+    }
+}
+
+/// One stored tile: its (possibly compressed) bytes plus the compression
+/// flag from the mapping table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileData {
+    /// Tile payload (LZW stream when `compressed`, raw little-endian
+    /// elements otherwise).
+    pub bytes: Vec<u8>,
+    /// Whether `bytes` is LZW-compressed (the paper's per-tile flag).
+    pub compressed: bool,
+}
+
+impl TileData {
+    /// Decodes the tile back to raw element bytes.
+    pub fn decode(&self) -> Result<Vec<u8>> {
+        lzw::maybe_decompress(&self.bytes, self.compressed)
+    }
+}
+
+/// An in-memory tiled array: the mapping table (scheme + per-tile payloads).
+///
+/// The execution engine stores each [`TileData`] as a separate storage
+/// object and keeps OIDs in its own mapping table; this type is the
+/// self-contained equivalent used for computation and tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TileMap {
+    scheme: TilingScheme,
+    tiles: Vec<TileData>,
+}
+
+impl TileMap {
+    /// Tiles (and per-tile compresses) a whole array.
+    pub fn build(array: &NdArray, target_bytes: usize) -> Result<Self> {
+        let scheme = TilingScheme::new(array.dims(), array.elem_type(), target_bytes)?;
+        let mut tiles = Vec::with_capacity(scheme.num_tiles());
+        for i in 0..scheme.num_tiles() {
+            let (lo, shape) = scheme.tile_region(i);
+            let sub = array.subarray(&lo, &shape)?;
+            let (bytes, compressed) = lzw::maybe_compress(sub.data());
+            tiles.push(TileData { bytes, compressed });
+        }
+        Ok(TileMap { scheme, tiles })
+    }
+
+    /// The tiling scheme (mapping-table metadata).
+    pub fn scheme(&self) -> &TilingScheme {
+        &self.scheme
+    }
+
+    /// Stored tiles in linear order.
+    pub fn tiles(&self) -> &[TileData] {
+        &self.tiles
+    }
+
+    /// Bytes actually stored (compressed sizes), i.e. what would hit disk.
+    pub fn stored_bytes(&self) -> usize {
+        self.tiles.iter().map(|t| t.bytes.len()).sum()
+    }
+
+    /// How many tiles are stored compressed.
+    pub fn num_compressed(&self) -> usize {
+        self.tiles.iter().filter(|t| t.compressed).count()
+    }
+
+    /// Reassembles the full array from all tiles.
+    pub fn assemble(&self) -> Result<NdArray> {
+        let mut out = NdArray::zeros(self.scheme.dims.to_vec(), self.scheme.elem)?;
+        for (i, tile) in self.tiles.iter().enumerate() {
+            let (lo, shape) = self.scheme.tile_region(i);
+            let patch = NdArray::new(shape, self.scheme.elem, tile.decode()?)?;
+            out.write_subarray(&lo, &patch)?;
+        }
+        Ok(out)
+    }
+
+    /// Extracts the region `[lo, lo+shape)` touching **only** the tiles that
+    /// overlap it — the access path a clip query takes. Returns the region
+    /// and the number of tiles read (for I/O accounting).
+    pub fn read_region(&self, lo: &[usize], shape: &[usize]) -> Result<(NdArray, usize)> {
+        let needed = self.scheme.tiles_overlapping(lo, shape)?;
+        let mut out = NdArray::zeros(shape.to_vec(), self.scheme.elem)?;
+        for &ti in &needed {
+            let (tlo, tshape) = self.scheme.tile_region(ti);
+            let tile = NdArray::new(tshape.clone(), self.scheme.elem, self.tiles[ti].decode()?)?;
+            // Intersect [lo, lo+shape) with [tlo, tlo+tshape) per dimension.
+            let mut src_lo = Vec::with_capacity(lo.len());
+            let mut dst_lo = Vec::with_capacity(lo.len());
+            let mut cut = Vec::with_capacity(lo.len());
+            for d in 0..lo.len() {
+                let a = lo[d].max(tlo[d]);
+                let b = (lo[d] + shape[d]).min(tlo[d] + tshape[d]);
+                debug_assert!(a < b, "tile filter returned a non-overlapping tile");
+                src_lo.push(a - tlo[d]);
+                dst_lo.push(a - lo[d]);
+                cut.push(b - a);
+            }
+            let piece = tile.subarray(&src_lo, &cut)?;
+            out.write_subarray(&dst_lo, &piece)?;
+        }
+        Ok((out, needed.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iota(dims: Vec<usize>) -> NdArray {
+        let mut a = NdArray::zeros(dims, ElemType::U16).unwrap();
+        for i in 0..a.num_elems() {
+            a.set_linear(i, (i % 65_536) as u64);
+        }
+        a
+    }
+
+    #[test]
+    fn scheme_respects_target_size() {
+        // 1000x1000 u16 = 2 MB; 128 KB target => ~16 tiles
+        let s = TilingScheme::new(&[1000, 1000], ElemType::U16, DEFAULT_TILE_BYTES).unwrap();
+        let tile_elems: usize = s.tile_shape().iter().product();
+        let tile_bytes = tile_elems * 2;
+        assert!(
+            (DEFAULT_TILE_BYTES / 2..=DEFAULT_TILE_BYTES * 2).contains(&tile_bytes),
+            "tile_bytes = {tile_bytes}"
+        );
+        // proportional: square array gets square tiles
+        assert_eq!(s.tile_shape()[0], s.tile_shape()[1]);
+    }
+
+    #[test]
+    fn scheme_proportional_for_skewed_dims() {
+        let s = TilingScheme::new(&[4000, 250], ElemType::U8, 64 * 1024).unwrap();
+        let ratio = s.tile_shape()[0] as f64 / s.tile_shape()[1] as f64;
+        assert!((ratio - 16.0).abs() < 4.0, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn small_array_is_one_tile() {
+        let s = TilingScheme::new(&[10, 10], ElemType::U8, DEFAULT_TILE_BYTES).unwrap();
+        assert_eq!(s.num_tiles(), 1);
+        assert_eq!(s.tile_shape(), &[10, 10]);
+    }
+
+    #[test]
+    fn tile_index_roundtrip() {
+        let s = TilingScheme::new(&[100, 90, 80], ElemType::U8, 1024).unwrap();
+        for i in 0..s.num_tiles() {
+            assert_eq!(s.tile_index(&s.tile_coord(i)).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn tile_regions_partition_the_array() {
+        let s = TilingScheme::new(&[37, 23], ElemType::U8, 64).unwrap();
+        let mut covered = vec![false; 37 * 23];
+        for i in 0..s.num_tiles() {
+            let (lo, shape) = s.tile_region(i);
+            for r in lo[0]..lo[0] + shape[0] {
+                for c in lo[1]..lo[1] + shape[1] {
+                    let cell = &mut covered[r * 23 + c];
+                    assert!(!*cell, "cell ({r},{c}) covered twice");
+                    *cell = true;
+                }
+            }
+        }
+        assert!(covered.iter().all(|&b| b), "some cells uncovered");
+    }
+
+    #[test]
+    fn build_and_assemble_roundtrip() {
+        let a = iota(vec![120, 75]);
+        let map = TileMap::build(&a, 1024).unwrap();
+        assert!(map.scheme().num_tiles() > 1);
+        assert_eq!(map.assemble().unwrap(), a);
+    }
+
+    #[test]
+    fn read_region_touches_only_needed_tiles() {
+        let a = iota(vec![100, 100]); // 20 KB
+        let map = TileMap::build(&a, 1000).unwrap(); // ~500 elems per tile
+        let total = map.scheme().num_tiles();
+        assert!(total >= 16, "want many tiles, got {total}");
+        // A small corner region must touch far fewer tiles than the total.
+        let (region, read) = map.read_region(&[5, 5], &[10, 10]).unwrap();
+        assert!(read < total / 2, "read {read} of {total}");
+        assert_eq!(region, a.subarray(&[5, 5], &[10, 10]).unwrap());
+    }
+
+    #[test]
+    fn read_region_across_tile_boundaries() {
+        let a = iota(vec![64, 64]);
+        let map = TileMap::build(&a, 512).unwrap();
+        let (region, read) = map.read_region(&[10, 10], &[40, 40]).unwrap();
+        assert_eq!(region, a.subarray(&[10, 10], &[40, 40]).unwrap());
+        assert!(read > 1);
+    }
+
+    #[test]
+    fn smooth_tiles_compress_noisy_tiles_do_not() {
+        // Left half constant (compressible), right half noise.
+        let mut a = NdArray::zeros(vec![64, 64], ElemType::U8).unwrap();
+        let mut x: u32 = 7;
+        for r in 0..64 {
+            for c in 32..64 {
+                x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+                a.set(&[r, c], u64::from(x >> 24)).unwrap();
+            }
+        }
+        let map = TileMap::build(&a, 512).unwrap();
+        let n = map.num_compressed();
+        assert!(n > 0, "no tiles compressed");
+        assert!(n < map.scheme().num_tiles(), "all tiles compressed");
+        assert_eq!(map.assemble().unwrap(), a);
+        assert!(map.stored_bytes() < a.byte_len());
+    }
+
+    #[test]
+    fn tiles_overlapping_empty_and_oob() {
+        let s = TilingScheme::new(&[10, 10], ElemType::U8, 16).unwrap();
+        assert!(s.tiles_overlapping(&[0, 0], &[0, 5]).unwrap().is_empty());
+        assert!(s.tiles_overlapping(&[20, 0], &[5, 5]).unwrap().is_empty());
+        // Region poking past the edge is clamped, not an error.
+        let ids = s.tiles_overlapping(&[8, 8], &[10, 10]).unwrap();
+        assert!(!ids.is_empty());
+    }
+
+    #[test]
+    fn one_dimensional_tiling() {
+        let a = iota(vec![5000]);
+        let map = TileMap::build(&a, 1024).unwrap();
+        assert!(map.scheme().num_tiles() >= 5);
+        assert_eq!(map.assemble().unwrap(), a);
+        let (r, _) = map.read_region(&[100], &[200]).unwrap();
+        assert_eq!(r, a.subarray(&[100], &[200]).unwrap());
+    }
+}

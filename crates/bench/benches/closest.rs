@@ -1,0 +1,31 @@
+//! Ablation of the Q12 spatial semi-join (Figure 3.1): the closest join
+//! with and without the semi-join's broadcast avoidance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paradise_bench::{setup_db, BenchConfig};
+use paradise_datagen::tables::{World, WorldSpec, LARGE_CITY};
+use paradise::queries;
+
+fn bench_closest(c: &mut Criterion) {
+    let mut cfg = BenchConfig::new(8, 1);
+    cfg.shrink = 4000;
+    cfg.base_dir =
+        std::env::temp_dir().join(format!("paradise-bench-closest-{}", std::process::id()));
+    let world = World::generate(WorldSpec::paper_ratio(cfg.seed, 1, cfg.shrink));
+    let db = setup_db(&cfg, &world);
+
+    let mut g = c.benchmark_group("closest_join_q12");
+    for semi in [true, false] {
+        g.bench_with_input(BenchmarkId::new("semi_join", semi), &semi, |b, &semi| {
+            b.iter(|| queries::q12(&db, LARGE_CITY, semi).unwrap().rows.len())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_millis(800));
+    targets = bench_closest
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! The §2.7.1 tradeoff (Figure 2.4): more spatial partitions smooth skew
+//! but replicate more spanning tuples. Measures the replication factor and
+//! the routing cost as the tile count grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paradise_geom::{Grid, Point, Rect};
+
+fn shapes(n: usize) -> Vec<Rect> {
+    let mut x: u64 = 99;
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        (x % 3400) as f64 / 10.0 - 170.0
+    };
+    (0..n)
+        .map(|_| {
+            let (cx, cy) = (next(), next() * 0.5);
+            Rect::from_corners(Point::new(cx, cy), Point::new(cx + 1.5, cy + 1.0)).unwrap()
+        })
+        .collect()
+}
+
+fn bench_decluster(c: &mut Criterion) {
+    let world = Rect::from_corners(Point::new(-180.0, -90.0), Point::new(180.0, 90.0)).unwrap();
+    let data = shapes(20_000);
+    let mut g = c.benchmark_group("decluster");
+    println!("\npartitions -> replication factor (stored copies / tuples):");
+    for tiles in [16u32, 64, 256, 1024, 4096, 16384] {
+        let grid = Grid::with_tile_count(world, tiles).unwrap();
+        let copies: usize = data.iter().map(|r| grid.tile_ids_for_rect(r).len()).sum();
+        println!(
+            "  {:>6} tiles: {:.4}x",
+            grid.num_tiles(),
+            copies as f64 / data.len() as f64
+        );
+        g.bench_with_input(BenchmarkId::new("route", tiles), &grid, |b, grid| {
+            b.iter(|| {
+                data.iter()
+                    .map(|r| grid.tile_ids_for_rect(r).len())
+                    .sum::<usize>()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_millis(800));
+    targets = bench_decluster
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! LZW compression micro-benchmarks (paper §2.5.1): raster-like smooth
+//! data vs incompressible noise, and the adaptive `maybe_compress` flag.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use paradise_array::lzw;
+
+fn smooth_tile(len: usize) -> Vec<u8> {
+    (0..len).map(|i| ((i / 64) % 251) as u8).collect()
+}
+
+fn noisy_tile(len: usize) -> Vec<u8> {
+    let mut x: u32 = 0xDEAD_BEEF;
+    (0..len)
+        .map(|_| {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            (x >> 24) as u8
+        })
+        .collect()
+}
+
+fn bench_lzw(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lzw");
+    for (name, data) in [("smooth", smooth_tile(128 * 1024)), ("noisy", noisy_tile(128 * 1024))] {
+        g.throughput(Throughput::Bytes(data.len() as u64));
+        g.bench_with_input(BenchmarkId::new("compress", name), &data, |b, d| {
+            b.iter(|| lzw::compress(d))
+        });
+        let packed = lzw::compress(&data);
+        g.bench_with_input(BenchmarkId::new("decompress", name), &packed, |b, p| {
+            b.iter(|| lzw::decompress(p).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("maybe_compress", name), &data, |b, d| {
+            b.iter(|| lzw::maybe_compress(d))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_millis(800));
+    targets = bench_lzw
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! R*-tree micro-benchmarks: one-at-a-time insertion (with forced
+//! reinsertion) vs STR bulk loading, and window searches — the paper notes
+//! bulk loading packs indexes better (§3.3 Q5–Q8 discussion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paradise_geom::{Point, Rect};
+use paradise_storage::RTree;
+
+fn rects(n: usize) -> Vec<(Rect, u64)> {
+    let mut x: u64 = 0x1234_5678;
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        (x % 100_000) as f64 / 100.0
+    };
+    (0..n)
+        .map(|i| {
+            let (cx, cy) = (next(), next());
+            (
+                Rect::from_corners(Point::new(cx, cy), Point::new(cx + 2.0, cy + 2.0)).unwrap(),
+                i as u64,
+            )
+        })
+        .collect()
+}
+
+fn bench_rtree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rtree");
+    for n in [1_000usize, 10_000] {
+        let data = rects(n);
+        g.bench_with_input(BenchmarkId::new("insert", n), &data, |b, d| {
+            b.iter(|| {
+                let mut t = RTree::new();
+                for (r, v) in d {
+                    t.insert(*r, *v);
+                }
+                t
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("bulk_load", n), &data, |b, d| {
+            b.iter(|| RTree::bulk_load(d.clone()))
+        });
+        let tree = RTree::bulk_load(data.clone());
+        let window =
+            Rect::from_corners(Point::new(200.0, 200.0), Point::new(300.0, 300.0)).unwrap();
+        g.bench_with_input(BenchmarkId::new("search_window", n), &tree, |b, t| {
+            b.iter(|| t.search(&window))
+        });
+        g.bench_with_input(BenchmarkId::new("nearest", n), &tree, |b, t| {
+            b.iter(|| t.nearest(&Point::new(500.0, 500.0)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_millis(800));
+    targets = bench_rtree
+}
+criterion_main!(benches);

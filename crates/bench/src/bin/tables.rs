@@ -1,0 +1,225 @@
+//! Regenerates every table of the paper's evaluation (§3.3–§3.5):
+//!
+//! * Table 3.1 — scaleup data-set sizes
+//! * Table 3.2 — scaleup execution times (Q2–Q14 on 4/8/16 nodes, data
+//!   grown with the node count)
+//! * Table 3.3 — speedup data-set size
+//! * Table 3.4 — speedup execution times (fixed data, 4/8/16 nodes)
+//! * Table 3.5 — declustered-raster experiment (Q2, Q3, Q3')
+//!
+//! Usage: `tables [--table 3.1|3.2|3.3|3.4|3.5|all] [--shrink N] [--seed N]`
+//!
+//! Absolute times are not comparable to the 1997 testbed; the *shape*
+//! (which queries scale, which saturate, where declustering helps) is the
+//! reproduction target. The paper's numbers are printed alongside.
+
+use paradise_bench::{build_world, run_decluster_suite, run_suite, setup_db, BenchConfig, QueryRow};
+use paradise_datagen::tables::World;
+
+const NODE_COUNTS: [usize; 3] = [4, 8, 16];
+
+/// Paper Table 3.2 (scaleup seconds) for Q2..Q14.
+const PAPER_SCALEUP: [(&str, [f64; 3]); 13] = [
+    ("Query 2", [118.19, 125.33, 113.00]),
+    ("Query 3", [8.97, 13.57, 21.68]),
+    ("Query 4", [3.34, 5.73, 10.13]),
+    ("Query 5", [1.09, 1.01, 1.04]),
+    ("Query 6", [14.40, 14.12, 11.93]),
+    ("Query 7", [1.79, 1.83, 1.86]),
+    ("Query 8", [11.70, 12.26, 12.47]),
+    ("Query 9", [17.12, 26.80, 42.46]),
+    ("Query 10", [79.96, 73.62, 73.49]),
+    ("Query 11", [24.83, 29.19, 31.25]),
+    ("Query 12", [308.43, 328.63, 367.74]),
+    ("Query 13", [1156.47, 974.51, 929.69]),
+    ("Query 14", [100.83, 123.72, 167.52]),
+];
+
+/// Paper Table 3.4 (speedup seconds) for Q2..Q14.
+const PAPER_SPEEDUP: [(&str, [f64; 3]); 13] = [
+    ("Query 2", [118.19, 50.29, 23.99]),
+    ("Query 3", [8.97, 7.12, 7.80]),
+    ("Query 4", [3.34, 3.60, 4.32]),
+    ("Query 5", [1.09, 0.62, 0.43]),
+    ("Query 6", [14.40, 8.07, 5.41]),
+    ("Query 7", [1.79, 1.02, 0.70]),
+    ("Query 8", [11.70, 7.28, 7.36]),
+    ("Query 9", [17.12, 14.58, 14.29]),
+    ("Query 10", [79.96, 39.99, 21.44]),
+    ("Query 11", [24.83, 12.29, 6.53]),
+    ("Query 12", [308.43, 153.28, 91.38]),
+    ("Query 13", [1156.47, 514.41, 268.02]),
+    ("Query 14", [100.83, 57.96, 43.04]),
+];
+
+/// Paper Table 3.5 (seconds): (query, with declustering, without).
+const PAPER_DECLUSTER: [(&str, f64, f64); 3] = [
+    ("Query 2", 336.6, 112.9),
+    ("Query 3", 15.3, 21.68),
+    ("Query 3'", 53.5, 417.8),
+];
+
+fn world_sizes(world: &World) -> Vec<(String, usize, usize)> {
+    let vec_bytes = |ts: &[paradise_exec::Tuple]| ts.iter().map(|t| t.encode().len()).sum();
+    vec![
+        ("Raster".to_string(), world.rasters.len(), world.raster_bytes()),
+        (
+            "Pop. Places".to_string(),
+            world.populated_places.len(),
+            vec_bytes(&world.populated_places),
+        ),
+        ("Roads".to_string(), world.roads.len(), vec_bytes(&world.roads)),
+        ("Drainage".to_string(), world.drainage.len(), vec_bytes(&world.drainage)),
+        ("LandCover".to_string(), world.land_cover.len(), vec_bytes(&world.land_cover)),
+    ]
+}
+
+fn fmt_bytes(b: usize) -> String {
+    if b >= 1 << 20 {
+        format!("{:.1} MB", b as f64 / (1 << 20) as f64)
+    } else {
+        format!("{:.1} KB", b as f64 / 1024.0)
+    }
+}
+
+fn table_31(shrink: usize, seed: u64) {
+    println!("\n=== Table 3.1: Scaleup Data Set Sizes (shrink 1/{shrink} of the paper's) ===");
+    for (i, &nodes) in NODE_COUNTS.iter().enumerate() {
+        let scale = 1 << i;
+        let mut cfg = BenchConfig::new(nodes, scale);
+        cfg.shrink = shrink;
+        cfg.seed = seed;
+        let world = build_world(&cfg);
+        println!("-- {nodes} nodes (resolution scale {scale}x) --");
+        println!("{:<14}{:>12}{:>14}", "table", "# tuples", "size");
+        for (name, n, bytes) in world_sizes(&world) {
+            println!("{name:<14}{n:>12}{:>14}", fmt_bytes(bytes));
+        }
+    }
+}
+
+fn table_33(shrink: usize, seed: u64) {
+    println!("\n=== Table 3.3: Speedup Data Size (fixed 4-node data set) ===");
+    let mut cfg = BenchConfig::new(4, 1);
+    cfg.shrink = shrink;
+    cfg.seed = seed;
+    let world = build_world(&cfg);
+    println!("{:<14}{:>12}{:>14}", "table", "# tuples", "size");
+    for (name, n, bytes) in world_sizes(&world) {
+        println!("{name:<14}{n:>12}{:>14}", fmt_bytes(bytes));
+    }
+}
+
+fn print_time_table(
+    title: &str,
+    ours: &[Vec<QueryRow>; 3],
+    paper: &[(&str, [f64; 3]); 13],
+) {
+    println!("\n=== {title} ===");
+    println!(
+        "{:<10}{:>12}{:>12}{:>12}   |{:>10}{:>10}{:>10}",
+        "", "4 nodes", "8 nodes", "16 nodes", "paper 4", "paper 8", "paper 16"
+    );
+    println!("{:<10}{:>36}   |{:>30}", "", "measured simulated seconds", "paper seconds");
+    for (qi, (name, paper_times)) in paper.iter().enumerate() {
+        let t: Vec<f64> = ours.iter().map(|suite| suite[qi].simulated).collect();
+        println!(
+            "{:<10}{:>12.4}{:>12.4}{:>12.4}   |{:>10.2}{:>10.2}{:>10.2}",
+            name, t[0], t[1], t[2], paper_times[0], paper_times[1], paper_times[2]
+        );
+    }
+}
+
+fn run_three(speedup: bool, shrink: usize, seed: u64) -> [Vec<QueryRow>; 3] {
+    let mut out: [Vec<QueryRow>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for (i, &nodes) in NODE_COUNTS.iter().enumerate() {
+        let scale = if speedup { 1 } else { 1 << i };
+        let mut cfg = BenchConfig::new(nodes, scale);
+        cfg.shrink = shrink;
+        cfg.seed = seed;
+        eprintln!("[tables] loading {nodes}-node cluster (scale {scale}) …");
+        let world = build_world(&cfg);
+        let db = setup_db(&cfg, &world);
+        eprintln!("[tables] running suite on {nodes} nodes …");
+        out[i] = run_suite(&db, &cfg);
+    }
+    out
+}
+
+fn table_32(shrink: usize, seed: u64) {
+    let ours = run_three(false, shrink, seed);
+    print_time_table("Table 3.2: Scaleup Execution Times", &ours, &PAPER_SCALEUP);
+}
+
+fn table_34(shrink: usize, seed: u64) {
+    let ours = run_three(true, shrink, seed);
+    print_time_table("Table 3.4: Speedup Execution Times", &ours, &PAPER_SPEEDUP);
+}
+
+fn table_35(shrink: usize, seed: u64) {
+    println!("\n=== Table 3.5: Declustered Rasters (16 nodes) ===");
+    let mut results: Vec<(String, f64, f64)> = Vec::new();
+    let mut with_rows: Vec<QueryRow> = Vec::new();
+    let mut without_rows: Vec<QueryRow> = Vec::new();
+    for decl in [true, false] {
+        let mut cfg = BenchConfig::new(16, 1);
+        cfg.shrink = shrink;
+        cfg.seed = seed;
+        cfg.decluster_rasters = decl;
+        cfg.base_dir = std::env::temp_dir().join(format!(
+            "paradise-bench-{}-t35-{decl}",
+            std::process::id()
+        ));
+        eprintln!("[tables] Table 3.5, decluster={decl} …");
+        let world = build_world(&cfg);
+        let db = setup_db(&cfg, &world);
+        let rows = run_decluster_suite(&db, &cfg);
+        if decl {
+            with_rows = rows;
+        } else {
+            without_rows = rows;
+        }
+    }
+    for (w, wo) in with_rows.iter().zip(&without_rows) {
+        results.push((w.name.clone(), w.simulated, wo.simulated));
+    }
+    println!(
+        "{:<10}{:>18}{:>18}   |{:>12}{:>12}",
+        "", "with decl.", "w/o decl.", "paper with", "paper w/o"
+    );
+    for ((name, w, wo), (pname, pw, pwo)) in results.iter().zip(PAPER_DECLUSTER.iter()) {
+        assert_eq!(name, pname);
+        println!("{name:<10}{w:>18.4}{wo:>18.4}   |{pw:>12.1}{pwo:>12.1}");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let get = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let table = get("--table").unwrap_or_else(|| "all".to_string());
+    let shrink: usize = get("--shrink").and_then(|s| s.parse().ok()).unwrap_or(2000);
+    let seed: u64 = get("--seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+
+    match table.as_str() {
+        "3.1" => table_31(shrink, seed),
+        "3.2" => table_32(shrink, seed),
+        "3.3" => table_33(shrink, seed),
+        "3.4" => table_34(shrink, seed),
+        "3.5" => table_35(shrink, seed),
+        "all" => {
+            table_31(shrink, seed);
+            table_33(shrink, seed);
+            table_32(shrink, seed);
+            table_34(shrink, seed);
+            table_35(shrink, seed);
+        }
+        other => {
+            eprintln!("unknown table {other:?}; use 3.1|3.2|3.3|3.4|3.5|all");
+            std::process::exit(2);
+        }
+    }
+}

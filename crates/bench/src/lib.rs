@@ -1,0 +1,189 @@
+//! Shared benchmark harness: builds the global-Sequoia world, loads it
+//! into a Paradise cluster (benchmark Q1), and runs the fourteen-query
+//! suite, producing the rows of the paper's Tables 3.2/3.4/3.5.
+
+#![forbid(unsafe_code)]
+
+use paradise::queries;
+use paradise::{Paradise, ParadiseConfig, QueryResult};
+use paradise_datagen::tables::{
+    self, drainage_table, land_cover_table, populated_places_table, raster_table, roads_table,
+    World, WorldSpec, LARGE_CITY, OIL_FIELD, QUERY_CHANNEL,
+};
+use paradise_exec::value::Date;
+use paradise_geom::Point;
+use std::path::PathBuf;
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Nodes in the simulated cluster.
+    pub nodes: usize,
+    /// Resolution-scaleup factor of the data set (Table 3.1: 1, 2, 4).
+    pub scale: usize,
+    /// Cardinality shrink vs the paper's Table 3.1 (e.g. 2000).
+    pub shrink: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Spatially decluster each raster's tiles (§2.6 / Table 3.5).
+    pub decluster_rasters: bool,
+    /// Where to put the cluster volumes.
+    pub base_dir: PathBuf,
+}
+
+impl BenchConfig {
+    /// Default configuration for `nodes` nodes at scale factor `scale`.
+    pub fn new(nodes: usize, scale: usize) -> BenchConfig {
+        BenchConfig {
+            nodes,
+            scale,
+            shrink: 2000,
+            seed: 42,
+            decluster_rasters: false,
+            base_dir: std::env::temp_dir().join(format!(
+                "paradise-bench-{}-n{nodes}-s{scale}",
+                std::process::id()
+            )),
+        }
+    }
+}
+
+/// One measured query.
+#[derive(Debug, Clone)]
+pub struct QueryRow {
+    /// Query name ("Query 2" ... "Query 14", "Query 3'").
+    pub name: String,
+    /// Simulated parallel execution time in seconds.
+    pub simulated: f64,
+    /// Wall-clock seconds (single host, all nodes serialised).
+    pub wall: f64,
+    /// Network bytes shipped.
+    pub net_bytes: u64,
+    /// Remote tile pulls.
+    pub pulls: u64,
+    /// Result cardinality.
+    pub rows: usize,
+}
+
+/// Generates the world for a configuration.
+pub fn build_world(cfg: &BenchConfig) -> World {
+    World::generate(WorldSpec::paper_ratio(cfg.seed, cfg.scale, cfg.shrink))
+}
+
+/// Benchmark Q1: create the cluster, define the five tables, load them and
+/// build the indexes, then commit. Returns the loaded DBMS.
+pub fn setup_db(cfg: &BenchConfig, world: &World) -> Paradise {
+    let mut db = Paradise::create(
+        ParadiseConfig::new(cfg.base_dir.clone(), cfg.nodes)
+            .with_grid_tiles(1024)
+            .with_pool_pages(4096),
+    )
+    .expect("create cluster");
+    db.define_table(
+        raster_table()
+            .with_tile_bytes(4096)
+            .with_raster_decluster(cfg.decluster_rasters),
+    );
+    db.define_table(populated_places_table());
+    db.define_table(roads_table());
+    db.define_table(drainage_table());
+    db.define_table(land_cover_table());
+
+    db.load_table("raster", world.rasters.iter().cloned()).expect("load rasters");
+    db.load_table("populatedPlaces", world.populated_places.iter().cloned())
+        .expect("load places");
+    db.load_table("roads", world.roads.iter().cloned()).expect("load roads");
+    db.load_table("drainage", world.drainage.iter().cloned()).expect("load drainage");
+    db.load_table("landCover", world.land_cover.iter().cloned()).expect("load landCover");
+
+    // Q1's index builds.
+    db.create_btree_index("populatedPlaces", queries::PP_NAME).expect("name index");
+    db.create_rtree_index("landCover", queries::LC_SHAPE).expect("landCover rtree");
+    db.create_rtree_index("roads", queries::LINE_SHAPE).expect("roads rtree");
+    db.create_rtree_index("drainage", queries::LINE_SHAPE).expect("drainage rtree");
+    db.commit().expect("commit load");
+    db
+}
+
+fn measure(db: &Paradise, name: &str, mut f: impl FnMut() -> QueryResult) -> QueryRow {
+    // Median of three cold runs (the pool is flushed before each, paper
+    // section 3.2) to keep sub-millisecond queries stable.
+    let mut runs: Vec<QueryRow> = (0..3)
+        .map(|_| {
+            db.flush_caches().expect("cold cache");
+            let base = db.cluster().net.snapshot();
+            let r = f();
+            let d = db.cluster().net.since(base);
+            QueryRow {
+                name: name.to_string(),
+                simulated: r.metrics.simulated_time().as_secs_f64(),
+                wall: r.metrics.wall.as_secs_f64(),
+                net_bytes: d.bytes + d.pull_bytes,
+                pulls: d.pulls,
+                rows: r.rows.len(),
+            }
+        })
+        .collect();
+    runs.sort_by(|a, b| a.simulated.partial_cmp(&b.simulated).unwrap());
+    runs.swap_remove(1)
+}
+
+/// Runs queries 2-14 (the Table 3.2 / 3.4 row set).
+pub fn run_suite(db: &Paradise, cfg: &BenchConfig) -> Vec<QueryRow> {
+    let us = tables::us_polygon();
+    let d = tables::query_date();
+    let mut rows = Vec::new();
+    rows.push(measure(db, "Query 2", || {
+        queries::q2(db, QUERY_CHANNEL, &us).expect("q2")
+    }));
+    rows.push(measure(db, "Query 3", || {
+        queries::q3(db, d, &us, cfg.decluster_rasters).expect("q3")
+    }));
+    rows.push(measure(db, "Query 4", || {
+        queries::q4(db, d, QUERY_CHANNEL, &us, 8).expect("q4")
+    }));
+    rows.push(measure(db, "Query 5", || queries::q5(db, "Phoenix").expect("q5")));
+    rows.push(measure(db, "Query 6", || queries::q6(db, &us).expect("q6")));
+    rows.push(measure(db, "Query 7", || {
+        queries::q7(db, Point::new(-90.0, 40.0), 25.0, 3.0).expect("q7")
+    }));
+    rows.push(measure(db, "Query 8", || {
+        queries::q8(db, "Louisville", 8.0).expect("q8")
+    }));
+    rows.push(measure(db, "Query 9", || {
+        queries::q9(db, d, QUERY_CHANNEL, OIL_FIELD).expect("q9")
+    }));
+    rows.push(measure(db, "Query 10", || {
+        queries::q10(db, &us, 25_000.0).expect("q10")
+    }));
+    rows.push(measure(db, "Query 11", || {
+        queries::q11(db, Point::new(-89.4, 43.1)).expect("q11")
+    }));
+    rows.push(measure(db, "Query 12", || {
+        queries::q12(db, LARGE_CITY, true).expect("q12")
+    }));
+    rows.push(measure(db, "Query 13", || queries::q13(db).expect("q13")));
+    rows.push(measure(db, "Query 14", || {
+        let lo = d;
+        let hi = Date(d.0 + 270);
+        queries::q14(db, lo, hi, QUERY_CHANNEL, OIL_FIELD).expect("q14")
+    }));
+    rows
+}
+
+/// Runs the Table 3.5 trio: Q2, Q3 and Q3' (whole-raster clip).
+pub fn run_decluster_suite(db: &Paradise, cfg: &BenchConfig) -> Vec<QueryRow> {
+    let us = tables::us_polygon();
+    let d = tables::query_date();
+    vec![
+        measure(db, "Query 2", || {
+            queries::q2(db, QUERY_CHANNEL, &us).expect("q2")
+        }),
+        measure(db, "Query 3", || {
+            queries::q3(db, d, &us, cfg.decluster_rasters).expect("q3")
+        }),
+        measure(db, "Query 3'", || {
+            queries::q3_prime(db, d, cfg.decluster_rasters).expect("q3'")
+        }),
+    ]
+}

@@ -1,0 +1,187 @@
+//! The [`Paradise`] facade: cluster + catalog + query entry points.
+
+use crate::Result;
+use paradise_exec::cluster::{Cluster, ClusterConfig};
+use paradise_exec::metrics::QueryMetrics;
+use paradise_exec::ops::aggregate::AggRegistry;
+use paradise_exec::{ExecError, TableDef, Tuple};
+use paradise_geom::{Point, Rect};
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// Construction parameters for a Paradise instance.
+#[derive(Debug, Clone)]
+pub struct ParadiseConfig {
+    /// Where per-node volumes live.
+    pub base_dir: PathBuf,
+    /// Number of data-server nodes (the paper evaluates 4, 8, 16).
+    pub nodes: usize,
+    /// Buffer-pool pages per node.
+    pub pool_pages: usize,
+    /// Number of spatial-declustering grid tiles (paper: 10,000).
+    pub grid_tiles: u32,
+    /// The spatial universe.
+    pub universe: Rect,
+    /// Simulated cost per remote tile pull (see
+    /// [`paradise_exec::cluster::ClusterConfig::pull_cost`]).
+    pub pull_cost: std::time::Duration,
+}
+
+impl ParadiseConfig {
+    /// A configuration with the benchmark defaults: a longitude/latitude
+    /// world and 10,000 grid tiles.
+    pub fn new(base_dir: impl Into<PathBuf>, nodes: usize) -> Self {
+        ParadiseConfig {
+            base_dir: base_dir.into(),
+            nodes,
+            pool_pages: 2048,
+            grid_tiles: 10_000,
+            universe: Rect::from_corners(Point::new(-180.0, -90.0), Point::new(180.0, 90.0))
+                .expect("valid universe"),
+            pull_cost: std::time::Duration::from_micros(5),
+        }
+    }
+
+    /// Overrides the grid tile count.
+    pub fn with_grid_tiles(mut self, tiles: u32) -> Self {
+        self.grid_tiles = tiles;
+        self
+    }
+
+    /// Overrides the per-node buffer-pool size.
+    pub fn with_pool_pages(mut self, pages: usize) -> Self {
+        self.pool_pages = pages;
+        self
+    }
+}
+
+/// A query answer: result rows plus the execution cost record.
+#[derive(Debug, Clone, Default)]
+pub struct QueryResult {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Result tuples.
+    pub rows: Vec<Tuple>,
+    /// Cost accounting (phases, network, pulls, simulated time).
+    pub metrics: QueryMetrics,
+}
+
+/// The Paradise DBMS: a query coordinator over a simulated shared-nothing
+/// cluster (paper Figure 2.1).
+pub struct Paradise {
+    cluster: Cluster,
+    tables: HashMap<String, TableDef>,
+    /// Extensible aggregate catalog (§2.4).
+    pub aggregates: AggRegistry,
+}
+
+impl Paradise {
+    /// Creates a fresh instance (wiping `base_dir`).
+    pub fn create(cfg: ParadiseConfig) -> Result<Paradise> {
+        let cluster = Cluster::create(&ClusterConfig {
+            nodes: cfg.nodes,
+            pool_pages: cfg.pool_pages,
+            grid_tiles: cfg.grid_tiles,
+            universe: cfg.universe,
+            base_dir: cfg.base_dir,
+            pull_cost: cfg.pull_cost,
+        })?;
+        Ok(Paradise {
+            cluster,
+            tables: HashMap::new(),
+            aggregates: AggRegistry::with_builtins(),
+        })
+    }
+
+    /// The underlying cluster.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Registers a table definition (DDL).
+    pub fn define_table(&mut self, def: TableDef) {
+        self.tables.insert(def.name.clone(), def);
+    }
+
+    /// Looks up a table definition.
+    pub fn table(&self, name: &str) -> Result<&TableDef> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| ExecError::NotFound(format!("table {name}")))
+    }
+
+    /// Defined table names.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.tables.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Loads tuples into a defined table (part of benchmark Q1).
+    pub fn load_table(
+        &self,
+        name: &str,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> Result<paradise_exec::table::LoadStats> {
+        let def = self.table(name)?;
+        let stats = def.load(&self.cluster, tuples)?;
+        Ok(stats)
+    }
+
+    /// Builds a B+-tree index on a scalar column of a table.
+    pub fn create_btree_index(&self, table: &str, col: usize) -> Result<()> {
+        self.table(table)?.build_btree_index(&self.cluster, col)
+    }
+
+    /// Builds an R*-tree index on a spatial column of a table.
+    pub fn create_rtree_index(&self, table: &str, col: usize) -> Result<()> {
+        self.table(table)?.build_rtree_index(&self.cluster, col)
+    }
+
+    /// Durably commits all nodes (end of load).
+    pub fn commit(&self) -> Result<()> {
+        self.cluster.commit_all()
+    }
+
+    /// Flushes every buffer pool — run before each measured query, as the
+    /// paper does ("The buffer pool was flushed between queries").
+    pub fn flush_caches(&self) -> Result<()> {
+        self.cluster.flush_caches()
+    }
+
+    /// Parses and executes a statement in the extended SQL dialect.
+    pub fn sql(&self, text: &str) -> Result<QueryResult> {
+        crate::sql_exec::run_sql(self, text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paradise_exec::schema::{DataType, Field, Schema};
+    use paradise_exec::value::Value;
+    use paradise_exec::Decluster;
+
+    fn tmp(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("paradise-db-{}-{tag}", std::process::id()))
+    }
+
+    #[test]
+    fn create_define_load_roundtrip() {
+        let mut db = Paradise::create(ParadiseConfig::new(tmp("a"), 2)).unwrap();
+        db.define_table(TableDef::new(
+            "t",
+            Schema::new(vec![Field::new("x", DataType::Int)]),
+            Decluster::RoundRobin,
+        ));
+        let stats = db
+            .load_table("t", (0..10).map(|i| Tuple::new(vec![Value::Int(i)])))
+            .unwrap();
+        assert_eq!(stats.input_tuples, 10);
+        assert!(db.table("t").is_ok());
+        assert!(db.table("missing").is_err());
+        assert_eq!(db.table_names(), vec!["t"]);
+        db.commit().unwrap();
+        db.flush_caches().unwrap();
+    }
+}

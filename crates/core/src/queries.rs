@@ -1,0 +1,727 @@
+//! The global Sequoia 2000 benchmark queries (paper §3.1.2), implemented
+//! as physical plans over the parallel engine.
+//!
+//! Each function is one of the paper's fourteen queries. Q1 is the load
+//! (see [`crate::Paradise::load_table`] and the index builders); Q2–Q14
+//! return a [`QueryResult`] whose [`QueryMetrics`] carries the simulated
+//! parallel execution time, network bytes, and pull counts the experiments
+//! report.
+//!
+//! Column layout conventions (the benchmark schemas of §3.1.1):
+//!
+//! * `raster(date, channel, data)`
+//! * `populatedPlaces(id, containing_face, type, location, name)`
+//! * `roads(id, type, shape)` / `drainage(id, type, shape)`
+//! * `landCover(id, type, shape)`
+
+use crate::db::{Paradise, QueryResult};
+use crate::Result;
+use paradise_array::Raster;
+use paradise_exec::metrics::QueryMetrics;
+use paradise_exec::ops::basic::sort_by_col;
+use paradise_exec::ops::closest::{closest_join, ClosestResult};
+use paradise_exec::ops::spatial_join::parallel_spatial_join;
+use paradise_exec::phase::{route, run_phase, run_sequential};
+use paradise_exec::raster_store;
+use paradise_exec::table::unpack_oid;
+use paradise_exec::value::{Date, RasterValue, StoredRaster, Value};
+use paradise_exec::{ExecError, NodeId, Tuple};
+use paradise_geom::{Circle, Point, Polygon, Shape};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// `raster.date` column.
+pub const RASTER_DATE: usize = 0;
+/// `raster.channel` column.
+pub const RASTER_CHANNEL: usize = 1;
+/// `raster.data` column.
+pub const RASTER_DATA: usize = 2;
+/// `populatedPlaces.type` column.
+pub const PP_TYPE: usize = 2;
+/// `populatedPlaces.location` column.
+pub const PP_LOC: usize = 3;
+/// `populatedPlaces.name` column.
+pub const PP_NAME: usize = 4;
+/// `roads`/`drainage` `.id` column.
+pub const LINE_ID: usize = 0;
+/// `roads`/`drainage` `.type` column.
+pub const LINE_TYPE: usize = 1;
+/// `roads`/`drainage` `.shape` column.
+pub const LINE_SHAPE: usize = 2;
+/// `landCover.id` column.
+pub const LC_ID: usize = 0;
+/// `landCover.type` column.
+pub const LC_TYPE: usize = 1;
+/// `landCover.shape` column.
+pub const LC_SHAPE: usize = 2;
+
+fn finish(mut metrics: QueryMetrics, columns: &[&str], rows: Vec<Tuple>, t0: Instant) -> QueryResult {
+    metrics.wall = t0.elapsed();
+    QueryResult {
+        columns: columns.iter().map(|s| s.to_string()).collect(),
+        rows,
+        metrics,
+    }
+}
+
+/// Ships per-node result rows to the query coordinator, charging network
+/// traffic for every row (the QC is its own process, Figure 2.1).
+fn collect_rows(db: &Paradise, per_node: Vec<Vec<Tuple>>) -> Vec<Tuple> {
+    let mut out = Vec::new();
+    for rows in per_node {
+        for t in rows {
+            db.cluster().net.ship(t.wire_size());
+            out.push(t);
+        }
+    }
+    out
+}
+
+fn stored_raster(t: &Tuple, col: usize) -> Result<&StoredRaster> {
+    match t.get(col)? {
+        Value::Raster(RasterValue::Stored(sr)) => Ok(sr),
+        other => Err(ExecError::Type { expected: "stored raster", got: other.kind().to_string() }),
+    }
+}
+
+/// **Q2** — "Select all raster images corresponding to a particular
+/// satellite channel, clip each image by a fixed polygon, and sort the
+/// results by date."
+pub fn q2(db: &Paradise, channel: i64, clip: &Polygon) -> Result<QueryResult> {
+    let t0 = Instant::now();
+    let mut m = QueryMetrics::default();
+    let raster = db.table("raster")?;
+    let per_node = run_phase(db.cluster(), &mut m, "scan + clip rasters", |node| {
+        let mut rows = Vec::new();
+        raster.scan_fragment(db.cluster(), node, |_, t| {
+            if t.get(RASTER_CHANNEL)?.as_int()? != channel {
+                return Ok(());
+            }
+            let sr = stored_raster(&t, RASTER_DATA)?;
+            if let Some((clipped, _)) = raster_store::clip_stored(db.cluster(), node, sr, clip)? {
+                rows.push(Tuple::new(vec![
+                    t.get(RASTER_DATE)?.clone(),
+                    Value::Raster(RasterValue::Mem(Arc::new(clipped))),
+                ]));
+            }
+            Ok(())
+        })?;
+        Ok(rows)
+    })?;
+    let rows = collect_rows(db, per_node);
+    let rows = run_sequential(&mut m, || sort_by_col(rows, 0))?;
+    Ok(finish(m, &["date", "clip"], rows, t0))
+}
+
+/// **Q3** — "Select all the raster images for a particular date, clipping
+/// each image by a constant polygon. Average the pixel values of the
+/// clipped images to produce a single result image."
+///
+/// With `declustered_rasters = false` this is the paper's sequential plan:
+/// an average operator on node 0 *pulls* the clip-region tiles of every
+/// matching image (§3.5). With `true`, every node averages the tiles it
+/// stores locally and the coordinator merges partial sums — the §2.6
+/// "decluster the image" plan.
+pub fn q3(
+    db: &Paradise,
+    date: Date,
+    clip: &Polygon,
+    declustered_rasters: bool,
+) -> Result<QueryResult> {
+    let t0 = Instant::now();
+    let mut m = QueryMetrics::default();
+    let raster = db.table("raster")?;
+
+    // Locate the matching rasters (metadata only — cheap).
+    let located = run_phase(db.cluster(), &mut m, "locate rasters", |node| {
+        let mut srs: Vec<StoredRaster> = Vec::new();
+        raster.scan_fragment(db.cluster(), node, |_, t| {
+            if t.get(RASTER_DATE)?.as_date()? == date {
+                srs.push(stored_raster(&t, RASTER_DATA)?.clone());
+            }
+            Ok(())
+        })?;
+        Ok(srs)
+    })?;
+    let srs: Vec<StoredRaster> = located.into_iter().flatten().collect();
+    if srs.is_empty() {
+        return Ok(finish(m, &["average"], Vec::new(), t0));
+    }
+
+    let result: Raster = if !declustered_rasters {
+        // The paper's plan: one average operator pulls everything to p0.
+        run_sequential(&mut m, || {
+            let mut clipped = Vec::with_capacity(srs.len());
+            for sr in &srs {
+                if let Some((c, _)) = raster_store::clip_stored(db.cluster(), 0, sr, clip)? {
+                    clipped.push(c);
+                }
+            }
+            let refs: Vec<&Raster> = clipped.iter().collect();
+            Ok(Raster::average_of(&refs)?)
+        })?
+    } else {
+        // Parallel plan: each node sums the pixels of the clip-region tiles
+        // it stores, shipping compact per-tile pieces; the coordinator
+        // pastes the pieces — its work is proportional to the pixels
+        // contributed, independent of the node count.
+        let sr0 = &srs[0];
+        let Some((r0, r1, c0, c1)) = raster_store::pixel_region(sr0, &clip.bbox()) else {
+            return Ok(finish(m, &["average"], Vec::new(), t0));
+        };
+        let (h, w) = ((r1 - r0) as usize, (c1 - c0) as usize);
+        /// One node's contribution: a sub-rectangle of per-pixel sums.
+        struct Piece {
+            row0: u32,
+            col0: u32,
+            rows: u32,
+            cols: u32,
+            sums: Vec<u64>,
+        }
+        let partials = run_phase(db.cluster(), &mut m, "local partial sums", |node| {
+            let mut pieces: Vec<Piece> = Vec::new();
+            for sr in &srs {
+                for idx in sr.tiles_for_region(r0, r1, c0, c1) {
+                    if sr.tiles[idx].node as usize != node {
+                        continue; // another node owns this tile
+                    }
+                    let bytes = db.cluster().fetch_tile(node, &sr.tiles[idx])?;
+                    let (tr0, tc0, th, tw) = sr.tile_region(idx);
+                    let tile = paradise_array::NdArray::new(
+                        vec![th as usize, tw as usize],
+                        sr.depth.elem_type(),
+                        bytes,
+                    )?;
+                    let (a_r, b_r) = (tr0.max(r0), (tr0 + th).min(r1));
+                    let (a_c, b_c) = (tc0.max(c0), (tc0 + tw).min(c1));
+                    let (prows, pcols) = ((b_r - a_r) as usize, (b_c - a_c) as usize);
+                    let mut sums = vec![0u64; prows * pcols];
+                    for rr in a_r..b_r {
+                        for cc in a_c..b_c {
+                            let v = tile
+                                .get(&[(rr - tr0) as usize, (cc - tc0) as usize])
+                                .expect("in range");
+                            sums[(rr - a_r) as usize * pcols + (cc - a_c) as usize] += v;
+                        }
+                    }
+                    db.cluster().net.ship(16 + sums.len() * 8);
+                    pieces.push(Piece {
+                        row0: a_r - r0,
+                        col0: a_c - c0,
+                        rows: prows as u32,
+                        cols: pcols as u32,
+                        sums,
+                    });
+                }
+            }
+            Ok(pieces)
+        })?;
+        run_sequential(&mut m, || {
+            let mut sums = vec![0u64; h * w];
+            let mut counts = vec![0u32; h * w];
+            for piece in partials.iter().flatten() {
+                for pr in 0..piece.rows as usize {
+                    for pc in 0..piece.cols as usize {
+                        let off = (piece.row0 as usize + pr) * w + piece.col0 as usize + pc;
+                        sums[off] += piece.sums[pr * piece.cols as usize + pc];
+                        counts[off] += 1;
+                    }
+                }
+            }
+            let mut out = Raster::new(w, h, sr0.depth, raster_store::geo_of_region(sr0, r0, r1, c0, c1))?;
+            for row in 0..h {
+                for col in 0..w {
+                    let off = row * w + col;
+                    let n = u64::from(counts[off]);
+                    out.set_pixel(col, row, if n == 0 { 0 } else { (sums[off] / n) as u32 })?;
+                }
+            }
+            Ok(out)
+        })?
+    };
+
+    let rows = vec![Tuple::new(vec![Value::Raster(RasterValue::Mem(Arc::new(result)))])];
+    Ok(finish(m, &["average"], rows, t0))
+}
+
+/// **Q4** — select one raster by date + channel, clip, `lower_res(8)`, and
+/// insert the result into a permanent relation (copy-on-insert of the new
+/// large attribute, §2.5.2).
+pub fn q4(
+    db: &Paradise,
+    date: Date,
+    channel: i64,
+    clip: &Polygon,
+    factor: usize,
+) -> Result<QueryResult> {
+    let t0 = Instant::now();
+    let mut m = QueryMetrics::default();
+    let raster = db.table("raster")?;
+    let per_node = run_phase(db.cluster(), &mut m, "select + clip + lower_res", |node| {
+        let mut rows = Vec::new();
+        raster.scan_fragment(db.cluster(), node, |_, t| {
+            if t.get(RASTER_DATE)?.as_date()? != date
+                || t.get(RASTER_CHANNEL)?.as_int()? != channel
+            {
+                return Ok(());
+            }
+            let sr = stored_raster(&t, RASTER_DATA)?;
+            if let Some((clipped, _)) = raster_store::clip_stored(db.cluster(), node, sr, clip)? {
+                let low = clipped.lower_res(factor)?;
+                rows.push(Tuple::new(vec![
+                    t.get(RASTER_DATE)?.clone(),
+                    t.get(RASTER_CHANNEL)?.clone(),
+                    Value::Raster(RasterValue::Mem(Arc::new(low))),
+                ]));
+            }
+            Ok(())
+        })?;
+        Ok(rows)
+    })?;
+    let rows = collect_rows(db, per_node);
+    // Copy-on-insert into a permanent result relation, then clean it up.
+    let result_table = paradise_exec::TableDef::new(
+        &db.cluster().fresh_temp_name("q4_result"),
+        db.table("raster")?.schema.clone(),
+        paradise_exec::Decluster::RoundRobin,
+    );
+    run_sequential(&mut m, || {
+        result_table.load(db.cluster(), rows.iter().cloned())?;
+        Ok(())
+    })?;
+    result_table.drop_table(db.cluster())?;
+    Ok(finish(m, &["date", "channel", "lowres"], rows, t0))
+}
+
+/// **Q5** — "Select one city based on the city's name" (B+-tree probe).
+pub fn q5(db: &Paradise, name: &str) -> Result<QueryResult> {
+    let t0 = Instant::now();
+    let mut m = QueryMetrics::default();
+    let pp = db.table("populatedPlaces")?;
+    let per_node = run_phase(db.cluster(), &mut m, "index probe", |node| {
+        pp.btree_probe(db.cluster(), node, PP_NAME, &Value::Str(name.to_string()))
+    })?;
+    let rows = collect_rows(db, per_node);
+    Ok(finish(m, &["id", "containing_face", "type", "location", "name"], rows, t0))
+}
+
+/// Reference-point duplicate elimination for replicated spatial tuples: a
+/// replica participates on the node owning the tile of `probe ∩ bbox`'s
+/// lower-left corner.
+fn owns_ref_point(db: &Paradise, node: NodeId, a: &paradise_geom::Rect, b: &paradise_geom::Rect) -> bool {
+    match a.intersection(b) {
+        Some(ix) => {
+            let tile = db.cluster().grid().tile_of_point(&ix.lo);
+            db.cluster().node_for_tile(tile) == node
+        }
+        None => false,
+    }
+}
+
+/// **Q6** — "Locate all polygons which overlap a particular geographical
+/// region and insert the result into a permanent relation" (spatial
+/// selection through the R*-tree).
+pub fn q6(db: &Paradise, region: &Polygon) -> Result<QueryResult> {
+    let t0 = Instant::now();
+    let mut m = QueryMetrics::default();
+    let lc = db.table("landCover")?;
+    let bbox = region.bbox();
+    let per_node = run_phase(db.cluster(), &mut m, "spatial index selection", |node| {
+        let idx = lc.rtree_index(db.cluster(), node, LC_SHAPE)?;
+        let mut rows = Vec::new();
+        for (rect, packed) in idx.search(&bbox) {
+            // Replicated polygons: only the reference-point owner reports.
+            if !owns_ref_point(db, node, &rect, &bbox) {
+                continue;
+            }
+            let t = lc.read_tuple(db.cluster(), node, unpack_oid(packed))?;
+            let shape = t.get(LC_SHAPE)?.as_shape()?;
+            if shape.overlaps(&Shape::Polygon(region.clone())) {
+                rows.push(t);
+            }
+        }
+        Ok(rows)
+    })?;
+    let rows = collect_rows(db, per_node);
+    // Insert into a permanent relation (then drop — benchmark hygiene).
+    let result_table = paradise_exec::TableDef::new(
+        &db.cluster().fresh_temp_name("q6_result"),
+        lc.schema.clone(),
+        paradise_exec::Decluster::RoundRobin,
+    );
+    run_sequential(&mut m, || {
+        result_table.load(db.cluster(), rows.iter().cloned())?;
+        Ok(())
+    })?;
+    result_table.drop_table(db.cluster())?;
+    Ok(finish(m, &["id", "type", "shape"], rows, t0))
+}
+
+/// **Q7** — polygons within a radius of a point with a bounded area
+/// (combined spatial + non-spatial selection).
+pub fn q7(db: &Paradise, center: Point, radius: f64, max_area: f64) -> Result<QueryResult> {
+    let t0 = Instant::now();
+    let mut m = QueryMetrics::default();
+    let lc = db.table("landCover")?;
+    let circle = Circle::new(center, radius).map_err(ExecError::Geom)?;
+    let bbox = circle.bbox();
+    let per_node = run_phase(db.cluster(), &mut m, "circle selection", |node| {
+        let idx = lc.rtree_index(db.cluster(), node, LC_SHAPE)?;
+        let mut rows = Vec::new();
+        for (rect, packed) in idx.search(&bbox) {
+            if !owns_ref_point(db, node, &rect, &bbox) {
+                continue;
+            }
+            let t = lc.read_tuple(db.cluster(), node, unpack_oid(packed))?;
+            let Shape::Polygon(poly) = t.get(LC_SHAPE)?.as_shape()? else {
+                continue;
+            };
+            if poly.within_circle(&circle) && poly.area() < max_area {
+                rows.push(Tuple::new(vec![
+                    Value::Float(poly.area()),
+                    t.get(LC_TYPE)?.clone(),
+                ]));
+            }
+        }
+        Ok(rows)
+    })?;
+    let rows = collect_rows(db, per_node);
+    Ok(finish(m, &["area", "type"], rows, t0))
+}
+
+/// **Q8** — "Find all polygons which are nearby any city named Louisville"
+/// (indexed nested-loops spatial join; the small outer is replicated to
+/// every node, §2.4).
+pub fn q8(db: &Paradise, city_name: &str, box_len: f64) -> Result<QueryResult> {
+    let t0 = Instant::now();
+    let mut m = QueryMetrics::default();
+    let pp = db.table("populatedPlaces")?;
+    let lc = db.table("landCover")?;
+    // Outer: the named cities (tiny), via the name index.
+    let cities = run_phase(db.cluster(), &mut m, "select cities", |node| {
+        pp.btree_probe(db.cluster(), node, PP_NAME, &Value::Str(city_name.to_string()))
+    })?;
+    let boxes: Vec<paradise_geom::Rect> = run_sequential(&mut m, || {
+        let mut out = Vec::new();
+        for t in cities.into_iter().flatten() {
+            let p = t.get(PP_LOC)?.as_shape()?.as_point().ok_or(ExecError::Type {
+                expected: "point",
+                got: "shape".into(),
+            })?;
+            // Replicating the small outer to every node is network traffic.
+            for _ in 0..db.cluster().num_nodes() {
+                db.cluster().net.ship(t.wire_size());
+            }
+            out.push(p.make_box(box_len));
+        }
+        Ok(out)
+    })?;
+    let per_node = run_phase(db.cluster(), &mut m, "indexed NL spatial join", |node| {
+        let idx = lc.rtree_index(db.cluster(), node, LC_SHAPE)?;
+        let mut rows = Vec::new();
+        for b in &boxes {
+            for (rect, packed) in idx.search(b) {
+                if !owns_ref_point(db, node, &rect, b) {
+                    continue;
+                }
+                let t = lc.read_tuple(db.cluster(), node, unpack_oid(packed))?;
+                let shape = t.get(LC_SHAPE)?.as_shape()?;
+                if shape.overlaps(&Shape::Rect(*b)) {
+                    rows.push(Tuple::new(vec![
+                        t.get(LC_SHAPE)?.clone(),
+                        t.get(LC_TYPE)?.clone(),
+                    ]));
+                }
+            }
+        }
+        Ok(rows)
+    })?;
+    let rows = collect_rows(db, per_node);
+    Ok(finish(m, &["shape", "type"], rows, t0))
+}
+
+/// Selects the oil-field polygons and de-duplicates the spatial replicas
+/// (shared by Q9/Q14).
+fn oil_polygons(db: &Paradise, m: &mut QueryMetrics, oil_type: i64) -> Result<Vec<Polygon>> {
+    let lc = db.table("landCover")?;
+    let per_node = run_phase(db.cluster(), m, "select oil fields", |node| {
+        let mut out: Vec<(String, Polygon)> = Vec::new();
+        lc.scan_fragment(db.cluster(), node, |_, t| {
+            if t.get(LC_TYPE)?.as_int()? == oil_type {
+                if let Shape::Polygon(p) = t.get(LC_SHAPE)?.as_shape()? {
+                    out.push((t.get(LC_ID)?.as_str()?.to_string(), p.clone()));
+                }
+            }
+            Ok(())
+        })?;
+        Ok(out)
+    })?;
+    run_sequential(m, || {
+        let mut seen = std::collections::HashSet::new();
+        let mut polys = Vec::new();
+        for (node, list) in per_node.into_iter().enumerate() {
+            for (id, p) in list {
+                if node != 0 {
+                    db.cluster().net.ship(64 + p.num_points() * 16);
+                }
+                if seen.insert(id) {
+                    polys.push(p);
+                }
+            }
+        }
+        Ok(polys)
+    })
+}
+
+/// **Q9** — clip one raster (date + channel) by every oil-field polygon:
+/// "the polygons are sent to all the nodes … all the processing for the
+/// query is done at the node that holds the selected raster."
+pub fn q9(db: &Paradise, date: Date, channel: i64, oil_type: i64) -> Result<QueryResult> {
+    q9_q14_impl(db, Some(date), None, channel, oil_type, "q9")
+}
+
+/// **Q14** — like Q9 over a date *range* (a year of rasters), so the
+/// clipping parallelises across the nodes holding the selected rasters.
+pub fn q14(
+    db: &Paradise,
+    date_lo: Date,
+    date_hi: Date,
+    channel: i64,
+    oil_type: i64,
+) -> Result<QueryResult> {
+    q9_q14_impl(db, None, Some((date_lo, date_hi)), channel, oil_type, "q14")
+}
+
+fn q9_q14_impl(
+    db: &Paradise,
+    exact: Option<Date>,
+    range: Option<(Date, Date)>,
+    channel: i64,
+    oil_type: i64,
+    _tag: &str,
+) -> Result<QueryResult> {
+    let t0 = Instant::now();
+    let mut m = QueryMetrics::default();
+    let raster = db.table("raster")?;
+    let polys = oil_polygons(db, &mut m, oil_type)?;
+    // Ship the polygons to every node (replicated small outer).
+    run_sequential(&mut m, || {
+        for p in &polys {
+            for _ in 0..db.cluster().num_nodes() {
+                db.cluster().net.ship(64 + p.num_points() * 16);
+            }
+        }
+        Ok(())
+    })?;
+    let per_node = run_phase(db.cluster(), &mut m, "clip rasters by polygons", |node| {
+        let mut rows = Vec::new();
+        raster.scan_fragment(db.cluster(), node, |_, t| {
+            if t.get(RASTER_CHANNEL)?.as_int()? != channel {
+                return Ok(());
+            }
+            let d = t.get(RASTER_DATE)?.as_date()?;
+            let matches = match (exact, range) {
+                (Some(e), _) => d == e,
+                (None, Some((lo, hi))) => d >= lo && d <= hi,
+                _ => false,
+            };
+            if !matches {
+                return Ok(());
+            }
+            let sr = stored_raster(&t, RASTER_DATA)?;
+            for p in &polys {
+                if let Some((clipped, _)) = raster_store::clip_stored(db.cluster(), node, sr, p)? {
+                    rows.push(Tuple::new(vec![
+                        Value::Shape(Shape::Polygon(p.clone())),
+                        Value::Raster(RasterValue::Mem(Arc::new(clipped))),
+                    ]));
+                }
+            }
+            Ok(())
+        })?;
+        Ok(rows)
+    })?;
+    let rows = collect_rows(db, per_node);
+    Ok(finish(m, &["shape", "clip"], rows, t0))
+}
+
+/// **Q10** — rasters whose average pixel value over a region exceeds a
+/// constant: the clipped raster is a new large attribute created during
+/// predicate evaluation, stored in an operator-scoped file that disappears
+/// when the operator completes (§2.5.2).
+pub fn q10(db: &Paradise, clip: &Polygon, threshold: f64) -> Result<QueryResult> {
+    let t0 = Instant::now();
+    let mut m = QueryMetrics::default();
+    let raster = db.table("raster")?;
+    let op_file = db.cluster().fresh_temp_name("q10_op");
+    let per_node = run_phase(db.cluster(), &mut m, "clip + average predicate", |node| {
+        // Operator-scoped large-object file for the clipped rasters.
+        let store = &db.cluster().node(node).store;
+        store.create_file(&op_file)?;
+        let mut rows = Vec::new();
+        raster.scan_fragment(db.cluster(), node, |_, t| {
+            let sr = stored_raster(&t, RASTER_DATA)?;
+            let Some((clipped, _)) = raster_store::clip_stored(db.cluster(), node, sr, clip)?
+            else {
+                return Ok(());
+            };
+            // Materialise the predicate's large attribute into the
+            // operator-scoped file, as Paradise does.
+            let file = store.file(&op_file).expect("created above");
+            let oid = file.insert(clipped.array().data())?;
+            let _ = oid;
+            if clipped.average().unwrap_or(0.0) > threshold {
+                rows.push(Tuple::new(vec![
+                    t.get(RASTER_DATE)?.clone(),
+                    t.get(RASTER_CHANNEL)?.clone(),
+                    Value::Raster(RasterValue::Mem(Arc::new(clipped))),
+                ]));
+            }
+            Ok(())
+        })?;
+        Ok(rows)
+    })?;
+    // The operator has completed: its file (and all its extents) go away.
+    for n in db.cluster().nodes() {
+        n.store.drop_entry(&op_file)?;
+    }
+    let rows = collect_rows(db, per_node);
+    Ok(finish(m, &["date", "channel", "clip"], rows, t0))
+}
+
+/// **Q11** — "Find the closest road of each type to a given point": a
+/// spatial aggregate evaluated with the extensible two-phase scheme — the
+/// local function keeps the per-type minimum on each node, the global
+/// function merges the partials (sequential tail, §2.4/§3.3).
+pub fn q11(db: &Paradise, point: Point) -> Result<QueryResult> {
+    let t0 = Instant::now();
+    let mut m = QueryMetrics::default();
+    let roads = db.table("roads")?;
+    // Phase 1: local "closest" aggregate per road type.
+    let partials = run_phase(db.cluster(), &mut m, "local closest per type", |node| {
+        let mut best: std::collections::HashMap<i64, (f64, Tuple)> = std::collections::HashMap::new();
+        roads.scan_fragment(db.cluster(), node, |_, t| {
+            let ty = t.get(LINE_TYPE)?.as_int()?;
+            let d = t.get(LINE_SHAPE)?.as_shape()?.distance_to_point(&point);
+            let replace = best.get(&ty).is_none_or(|(bd, _)| d < *bd);
+            if replace {
+                best.insert(ty, (d, t));
+            }
+            Ok(())
+        })?;
+        Ok(best)
+    })?;
+    // Phase 2: the single global aggregate operator.
+    let rows = run_sequential(&mut m, || {
+        let mut merged: std::collections::HashMap<i64, (f64, Tuple)> = std::collections::HashMap::new();
+        for (node, partial) in partials.into_iter().enumerate() {
+            for (ty, (d, t)) in partial {
+                if node != 0 {
+                    db.cluster().net.ship(t.wire_size() + 16);
+                }
+                let replace = merged.get(&ty).is_none_or(|(bd, _)| d < *bd);
+                if replace {
+                    merged.insert(ty, (d, t));
+                }
+            }
+        }
+        let mut types: Vec<i64> = merged.keys().copied().collect();
+        types.sort_unstable();
+        Ok(types
+            .into_iter()
+            .map(|ty| {
+                let (d, t) = merged.remove(&ty).expect("present");
+                Tuple::new(vec![
+                    t.values[LINE_SHAPE].clone(),
+                    Value::Int(ty),
+                    Value::Float(d),
+                ])
+            })
+            .collect::<Vec<_>>())
+    })?;
+    Ok(finish(m, &["closest", "type", "distance"], rows, t0))
+}
+
+/// **Q12** — "Find the closest drainage feature to every large city": the
+/// full Figure 3.1 plan (on-the-fly local R*-trees, spatial semi-join,
+/// join-with-aggregate with expanding circles, sequential global
+/// aggregate). `use_semi_join = false` ablates the semi-join.
+pub fn q12(db: &Paradise, large_city_type: i64, use_semi_join: bool) -> Result<QueryResult> {
+    let t0 = Instant::now();
+    let mut m = QueryMetrics::default();
+    let pp = db.table("populatedPlaces")?;
+    let drainage = db.table("drainage")?;
+    // Select the large cities from the (spatially declustered) places.
+    let cities = run_phase(db.cluster(), &mut m, "select large cities", |node| {
+        let mut out = Vec::new();
+        pp.scan_fragment(db.cluster(), node, |_, t| {
+            if t.get(PP_TYPE)?.as_int()? == large_city_type {
+                out.push(t);
+            }
+            Ok(())
+        })?;
+        Ok(out)
+    })?;
+    let results: Vec<ClosestResult> =
+        closest_join(db.cluster(), &mut m, drainage, LINE_SHAPE, cities, PP_LOC, use_semi_join)?;
+    let rows = results
+        .into_iter()
+        .map(|r| {
+            Tuple::new(vec![
+                r.inner.values[LINE_SHAPE].clone(),
+                r.outer.values[PP_LOC].clone(),
+                Value::Float(r.distance),
+            ])
+        })
+        .collect();
+    Ok(finish(m, &["closest", "location", "distance"], rows, t0))
+}
+
+/// **Q13** — "Find all drainage features which cross a road": the parallel
+/// spatial join (tile repartitioning was done at load time — both tables
+/// are spatially declustered on the shared grid — so only the local PBSM
+/// phase runs, with reference-point duplicate elimination).
+pub fn q13(db: &Paradise) -> Result<QueryResult> {
+    let t0 = Instant::now();
+    let mut m = QueryMetrics::default();
+    let drainage = db.table("drainage")?;
+    let roads = db.table("roads")?;
+    let per_node =
+        parallel_spatial_join(db.cluster(), &mut m, drainage, LINE_SHAPE, roads, LINE_SHAPE)?;
+    let rows = collect_rows(db, per_node);
+    Ok(finish(
+        m,
+        &["d_id", "d_type", "d_shape", "r_id", "r_type", "r_shape"],
+        rows,
+        t0,
+    ))
+}
+
+/// Variant of Q2/Q3 used by the §3.5 declustered-raster experiment: Q3
+/// with the clip region widened to the whole raster ("Query 3'").
+pub fn q3_prime(db: &Paradise, date: Date, declustered_rasters: bool) -> Result<QueryResult> {
+    let whole = Polygon::from_rect(&db.cluster().grid().universe());
+    q3(db, date, &whole, declustered_rasters)
+}
+
+/// Repartition-based relational helper exposed for completeness: hash
+/// repartitions a table on a column and returns per-node batches (phase 1
+/// of a parallel relational join when inputs are not co-partitioned).
+pub fn hash_repartition(
+    db: &Paradise,
+    m: &mut QueryMetrics,
+    table: &paradise_exec::TableDef,
+    col: usize,
+) -> Result<Vec<Vec<Tuple>>> {
+    let n = db.cluster().num_nodes();
+    let outbox = run_phase(db.cluster(), m, "hash repartition", |node| {
+        let mut msgs = Vec::new();
+        table.scan_fragment(db.cluster(), node, |_, t| {
+            let dest = (paradise_exec::decluster::hash_value(t.get(col)?) as usize) % n;
+            msgs.push((dest, t));
+            Ok(())
+        })?;
+        Ok(msgs)
+    })?;
+    Ok(route(db.cluster(), outbox))
+}

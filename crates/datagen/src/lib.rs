@@ -1,0 +1,50 @@
+//! # paradise-datagen
+//!
+//! The *global Sequoia 2000* benchmark data generator (paper §3.1).
+//!
+//! The paper's data — 10 years of world-wide AVHRR composites plus the DCW
+//! global vector data — is not redistributable, so this crate synthesises a
+//! geo-registered world with the same *structure*:
+//!
+//! * [`tables`] — the five benchmark tables (`raster`, `populatedPlaces`,
+//!   `roads`, `drainage`, `landCover`) with the paper's schemas, realistic
+//!   spatial skew (places cluster around city centres; land cover avoids
+//!   "oceans"), and cardinalities proportional to Table 3.1/3.3 at a
+//!   configurable scale factor;
+//! * [`scaleup`] — the §3.1.3 **resolution scaleup** transformation:
+//!   polygons gain points and sprout "satellite" polygons, polylines
+//!   likewise, points gain satellite points, rasters are over-sampled with
+//!   pixel perturbation.
+//!
+//! Everything is seeded and deterministic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod scaleup;
+pub mod tables;
+
+pub use tables::{WorldSpec, World};
+
+use paradise_geom::{Point, Rect};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The world rectangle used by the benchmark (longitude × latitude).
+pub fn world_rect() -> Rect {
+    Rect::from_corners(Point::new(-180.0, -90.0), Point::new(180.0, 90.0))
+        .expect("valid world")
+}
+
+/// A seeded RNG for deterministic generation.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A random point in `rect`.
+pub fn random_point(rng: &mut StdRng, rect: &Rect) -> Point {
+    Point::new(
+        rng.gen_range(rect.lo.x..=rect.hi.x),
+        rng.gen_range(rect.lo.y..=rect.hi.y),
+    )
+}

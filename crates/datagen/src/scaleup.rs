@@ -1,0 +1,274 @@
+//! Resolution scaleup (paper §3.1.3, Figure 3.2).
+//!
+//! "When a user moves to a data set with a higher resolution, the existing
+//! spatial features will be more detailed, and at the same time a number of
+//! smaller 'satellite' features that hover around the existing feature will
+//! now become visible."
+//!
+//! * **Polygons** scaled `S×`: the original gains `N·(S-1)/S` points
+//!   (randomly chosen edges are broken in two) and `S-1` satellite polygons
+//!   appear, each a regularly shaped polygon with `N·(S-1)/S` points
+//!   inscribed in a box with sides one tenth of the original's bounding
+//!   box, placed randomly near the original.
+//! * **Polylines** are scaled the same way.
+//! * **Points** gain `S-1` satellite points randomly placed nearby.
+//! * **Rasters**: every pixel is over-sampled `S` times (total pixels ×S)
+//!   with slight value perturbation "to prevent artificially high
+//!   compression ratios"; no new images are added.
+
+use paradise_array::Raster;
+use paradise_geom::{Point, Polygon, Polyline, Rect};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Breaks `extra` randomly chosen edges of a closed ring / open chain in
+/// two by inserting the edge midpoint.
+fn densify(points: &[Point], extra: usize, closed: bool, rng: &mut StdRng) -> Vec<Point> {
+    let n_edges = if closed { points.len() } else { points.len() - 1 };
+    // How many midpoints to insert per edge (a multiset of edge picks).
+    let mut inserts = vec![0usize; n_edges];
+    for _ in 0..extra {
+        inserts[rng.gen_range(0..n_edges)] += 1;
+    }
+    let mut out = Vec::with_capacity(points.len() + extra);
+    for i in 0..n_edges {
+        let a = points[i];
+        let b = points[(i + 1) % points.len()];
+        out.push(a);
+        // k midpoints subdivide the edge into k+1 equal pieces.
+        let k = inserts[i];
+        for j in 1..=k {
+            let t = j as f64 / (k + 1) as f64;
+            out.push(Point::new(a.x + t * (b.x - a.x), a.y + t * (b.y - a.y)));
+        }
+    }
+    if !closed {
+        out.push(points[points.len() - 1]);
+    }
+    out
+}
+
+/// A satellite bounding box: sides one tenth of the original's, placed
+/// randomly within one original-bbox-width of the original.
+fn satellite_box(bbox: &Rect, rng: &mut StdRng) -> Rect {
+    let w = (bbox.width() / 10.0).max(1e-6);
+    let h = (bbox.height() / 10.0).max(1e-6);
+    let dx = rng.gen_range(-bbox.width()..=bbox.width().max(1e-6));
+    let dy = rng.gen_range(-bbox.height()..=bbox.height().max(1e-6));
+    let lo = Point::new(bbox.lo.x + dx, bbox.lo.y + dy);
+    Rect::from_corners(lo, Point::new(lo.x + w, lo.y + h)).expect("finite satellite box")
+}
+
+/// Scales a polygon `s×`: returns the densified original plus `s-1`
+/// satellites.
+pub fn scale_polygon(poly: &Polygon, s: usize, rng: &mut StdRng) -> (Polygon, Vec<Polygon>) {
+    assert!(s >= 1);
+    let n = poly.num_points();
+    let extra = n * (s - 1) / s;
+    let dense = Polygon::new(densify(poly.ring(), extra, true, rng)).expect("densified ring");
+    let sat_points = (n * (s - 1) / s).max(3);
+    let satellites = (0..s - 1)
+        .map(|_| {
+            Polygon::regular_in_rect(&satellite_box(&poly.bbox(), rng), sat_points)
+                .expect("satellite polygon")
+        })
+        .collect();
+    (dense, satellites)
+}
+
+/// Scales a polyline `s×`: densified original plus `s-1` satellite chains.
+pub fn scale_polyline(line: &Polyline, s: usize, rng: &mut StdRng) -> (Polyline, Vec<Polyline>) {
+    assert!(s >= 1);
+    let n = line.num_points();
+    let extra = n * (s - 1) / s;
+    let dense = Polyline::new(densify(line.points(), extra, false, rng)).expect("densified line");
+    let sat_points = (n * (s - 1) / s).max(2);
+    let satellites = (0..s - 1)
+        .map(|_| {
+            // A little zig-zag chain inside the satellite box.
+            let b = satellite_box(&line.bbox(), rng);
+            let pts: Vec<Point> = (0..sat_points)
+                .map(|i| {
+                    let t = i as f64 / (sat_points - 1).max(1) as f64;
+                    let y = if i % 2 == 0 { b.lo.y } else { b.hi.y };
+                    Point::new(b.lo.x + t * b.width(), y)
+                })
+                .collect();
+            Polyline::new(pts).expect("satellite polyline")
+        })
+        .collect();
+    (dense, satellites)
+}
+
+/// Scales a point `s×`: the original plus `s-1` satellites within `radius`.
+pub fn scale_point(p: &Point, s: usize, radius: f64, rng: &mut StdRng) -> (Point, Vec<Point>) {
+    assert!(s >= 1);
+    let satellites = (0..s - 1)
+        .map(|_| {
+            Point::new(
+                p.x + rng.gen_range(-radius..=radius),
+                p.y + rng.gen_range(-radius..=radius),
+            )
+        })
+        .collect();
+    (*p, satellites)
+}
+
+/// Scales a raster `s×` (total pixels × s): over-samples along the axes by
+/// a factor pair `(a, b)` with `a·b = s`, perturbing each over-sampled
+/// pixel by ±2 to defeat artificially high compression.
+pub fn scale_raster(r: &Raster, s: usize, rng: &mut StdRng) -> Raster {
+    assert!(s >= 1);
+    // Pick the most square factor pair a*b = s.
+    let mut a = (s as f64).sqrt() as usize;
+    while a > 1 && s % a != 0 {
+        a -= 1;
+    }
+    let b = s / a.max(1);
+    let max = i64::from(r.depth().max_value());
+    let mut out = Raster::new(r.width() * b, r.height() * a, r.depth(), r.geo())
+        .expect("scaled raster");
+    for row in 0..r.height() {
+        for col in 0..r.width() {
+            let base = r.pixel(col, row).expect("in range") as i64;
+            for dr in 0..a {
+                for dc in 0..b {
+                    let v = (base + rng.gen_range(-2i64..=2)).clamp(0, max) as u32;
+                    out.set_pixel(col * b + dc, row * a + dr, v).expect("in range");
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng;
+    use paradise_array::BitDepth;
+
+    fn square(side: f64) -> Polygon {
+        Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(side, 0.0),
+            Point::new(side, side),
+            Point::new(0.0, side),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn polygon_scaleup_doubles_points_and_features() {
+        let mut rng = rng(1);
+        let p = square(10.0);
+        let (dense, sats) = scale_polygon(&p, 2, &mut rng);
+        // N=4, extra = 4*1/2 = 2 points added; 1 satellite with 2->3 pts min
+        assert_eq!(dense.num_points(), 6);
+        assert_eq!(sats.len(), 1);
+        // Total features double; total points roughly double.
+        let total: usize = dense.num_points() + sats.iter().map(|s| s.num_points()).sum::<usize>();
+        assert!(total >= 8, "total points {total}");
+        // Densified polygon keeps the same area (midpoint insertion).
+        assert!((dense.area() - p.area()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn polygon_scaleup_s4() {
+        let mut rng = rng(2);
+        // An 8-point polygon scaled 4x, as in Figure 3.2: 6 new points and
+        // 3 satellites each with 6 points.
+        let octagon = Polygon::regular_in_rect(
+            &Rect::from_corners(Point::new(0.0, 0.0), Point::new(4.0, 4.0)).unwrap(),
+            8,
+        )
+        .unwrap();
+        let (dense, sats) = scale_polygon(&octagon, 4, &mut rng);
+        assert_eq!(dense.num_points(), 8 + 6);
+        assert_eq!(sats.len(), 3);
+        for s in &sats {
+            assert_eq!(s.num_points(), 6);
+            // satellite bbox sides ~ one tenth of the original's.
+            assert!(s.bbox().width() <= octagon.bbox().width() / 9.0);
+        }
+    }
+
+    #[test]
+    fn satellites_stay_near_original() {
+        let mut rng = rng(3);
+        let p = square(10.0);
+        let (_, sats) = scale_polygon(&p, 8, &mut rng);
+        assert_eq!(sats.len(), 7);
+        let neighbourhood = p.bbox().expand(2.0 * p.bbox().width());
+        for s in &sats {
+            assert!(neighbourhood.contains_rect(&s.bbox()));
+        }
+    }
+
+    #[test]
+    fn polyline_scaleup() {
+        let mut rng = rng(4);
+        let line = Polyline::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(5.0, 5.0),
+            Point::new(10.0, 0.0),
+            Point::new(15.0, 5.0),
+        ])
+        .unwrap();
+        let (dense, sats) = scale_polyline(&line, 4, &mut rng);
+        assert_eq!(dense.num_points(), 4 + 3);
+        assert_eq!(sats.len(), 3);
+        // Densification preserves total length (points on the edges).
+        assert!((dense.length() - line.length()).abs() < 1e-9);
+        // Endpoints preserved.
+        assert_eq!(dense.points()[0], line.points()[0]);
+        assert_eq!(*dense.points().last().unwrap(), *line.points().last().unwrap());
+    }
+
+    #[test]
+    fn point_scaleup() {
+        let mut rng = rng(5);
+        let p = Point::new(3.0, 4.0);
+        let (orig, sats) = scale_point(&p, 4, 0.5, &mut rng);
+        assert_eq!(orig, p);
+        assert_eq!(sats.len(), 3);
+        for s in &sats {
+            assert!(p.distance(s) <= 0.5 * 2f64.sqrt() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn raster_scaleup_multiplies_pixels_not_region() {
+        let mut rng = rng(6);
+        let geo = Rect::from_corners(Point::new(0.0, 0.0), Point::new(10.0, 10.0)).unwrap();
+        let mut r = Raster::new(8, 8, BitDepth::Sixteen, geo).unwrap();
+        for row in 0..8 {
+            for col in 0..8 {
+                r.set_pixel(col, row, 1000).unwrap();
+            }
+        }
+        let r2 = scale_raster(&r, 2, &mut rng);
+        assert_eq!(r2.width() * r2.height(), 128, "pixels x2");
+        assert_eq!(r2.geo(), geo, "resolution scaleup keeps the region");
+        let r4 = scale_raster(&r, 4, &mut rng);
+        assert_eq!(r4.width() * r4.height(), 256);
+        assert_eq!(r4.width(), 16);
+        assert_eq!(r4.height(), 16);
+        // Values perturbed but close.
+        for row in 0..r2.height() {
+            for col in 0..r2.width() {
+                let v = r2.pixel(col, row).unwrap() as i64;
+                assert!((v - 1000).abs() <= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn scaleup_is_deterministic_per_seed() {
+        let p = square(7.0);
+        let (a1, s1) = scale_polygon(&p, 3, &mut rng(42));
+        let (a2, s2) = scale_polygon(&p, 3, &mut rng(42));
+        assert_eq!(a1, a2);
+        assert_eq!(s1, s2);
+    }
+}

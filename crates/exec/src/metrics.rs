@@ -1,0 +1,89 @@
+//! Query cost accounting (the shared-nothing timing model).
+
+use std::time::Duration;
+
+/// Per-node busy time of one parallel phase.
+#[derive(Debug, Clone)]
+pub struct PhaseTimes {
+    /// Phase label (e.g. "scan+select", "repartition", "local join").
+    pub name: String,
+    /// Busy time of each node during the phase.
+    pub node_busy: Vec<Duration>,
+}
+
+impl PhaseTimes {
+    /// The phase's contribution to parallel execution time: the slowest
+    /// node (all nodes work concurrently within a phase).
+    pub fn critical(&self) -> Duration {
+        self.node_busy.iter().copied().max().unwrap_or_default()
+    }
+
+    /// Total work across nodes (for utilisation statistics).
+    pub fn total_work(&self) -> Duration {
+        self.node_busy.iter().sum()
+    }
+}
+
+/// Cost record of one query execution.
+#[derive(Debug, Clone, Default)]
+pub struct QueryMetrics {
+    /// Parallel phases in execution order.
+    pub phases: Vec<PhaseTimes>,
+    /// Time spent in sequential operators (e.g. the single global
+    /// aggregate of Q12, result assembly at the query coordinator).
+    pub sequential: Duration,
+    /// Bytes shipped between nodes (repartitioning, replication, results).
+    pub net_bytes: u64,
+    /// Number of tuples shipped between nodes.
+    pub net_tuples: u64,
+    /// Number of remote tile pulls (§2.5.2).
+    pub pulls: u64,
+    /// Bytes moved by pulls.
+    pub pull_bytes: u64,
+    /// Wall-clock time of the whole execution (for transparency).
+    pub wall: Duration,
+}
+
+impl QueryMetrics {
+    /// Simulated parallel execution time under the paper's cost model:
+    /// phases run their nodes concurrently (critical path = slowest node),
+    /// phases and sequential operators run back to back.
+    pub fn simulated_time(&self) -> Duration {
+        self.phases.iter().map(|p| p.critical()).sum::<Duration>() + self.sequential
+    }
+
+    /// Sum of all node work (what a single node would have to do alone).
+    pub fn total_work(&self) -> Duration {
+        self.phases.iter().map(|p| p.total_work()).sum::<Duration>() + self.sequential
+    }
+
+    /// Adds a phase record.
+    pub fn push_phase(&mut self, name: &str, node_busy: Vec<Duration>) {
+        self.phases.push(PhaseTimes { name: name.to_string(), node_busy });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn simulated_time_is_critical_path() {
+        let mut m = QueryMetrics::default();
+        m.push_phase("scan", vec![ms(10), ms(30), ms(20)]);
+        m.push_phase("join", vec![ms(5), ms(5), ms(50)]);
+        m.sequential = ms(7);
+        assert_eq!(m.simulated_time(), ms(30 + 50 + 7));
+        assert_eq!(m.total_work(), ms(10 + 30 + 20 + 5 + 5 + 50 + 7));
+    }
+
+    #[test]
+    fn empty_metrics() {
+        let m = QueryMetrics::default();
+        assert_eq!(m.simulated_time(), Duration::ZERO);
+    }
+}

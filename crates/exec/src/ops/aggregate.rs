@@ -1,0 +1,342 @@
+//! Two-phase, *extensible* aggregation (paper §2.4).
+//!
+//! "Our solution … is to define all aggregate operators in terms of local
+//! and global functions. The local function is executed during the first
+//! phase and the global function during the second phase. … When the
+//! system is extended either by adding new ADTs and/or new aggregate
+//! operators, the aggregate name along with its local and global functions
+//! are registered in the system catalogs."
+//!
+//! The partial state is itself a [`Tuple`], so a new aggregate can carry
+//! whatever composite it needs (`avg` carries `(sum, count)`, `closest`
+//! carries `(distance, shape-bearing tuple)`).
+
+use crate::table::index_key;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use crate::{ExecError, Result};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Accumulates one input tuple into the partial state (phase 1, runs on
+/// every node over its fragment).
+pub type LocalFn = Arc<dyn Fn(&mut Option<Tuple>, &Tuple) -> Result<()> + Send + Sync>;
+/// Merges a partial state from some node into the combined state (phase 2,
+/// runs once).
+pub type GlobalFn = Arc<dyn Fn(&mut Option<Tuple>, &Tuple) -> Result<()> + Send + Sync>;
+/// Turns the combined state into the result value.
+pub type FinishFn = Arc<dyn Fn(Tuple) -> Result<Value> + Send + Sync>;
+
+/// A registered aggregate: (local, global, finish).
+#[derive(Clone)]
+pub struct AggregateFn {
+    /// Catalog name.
+    pub name: String,
+    /// Phase-1 accumulator.
+    pub local: LocalFn,
+    /// Phase-2 merger.
+    pub global: GlobalFn,
+    /// Finaliser.
+    pub finish: FinishFn,
+}
+
+/// The aggregate catalog. New ADTs register their aggregates here without
+/// touching the scheduler or execution engine.
+#[derive(Clone, Default)]
+pub struct AggRegistry {
+    map: HashMap<String, AggregateFn>,
+}
+
+impl AggRegistry {
+    /// A registry pre-loaded with the standard SQL aggregates over column 0
+    /// of the aggregate input (`count`, `sum`, `avg`, `min`, `max`).
+    pub fn with_builtins() -> Self {
+        let mut r = AggRegistry::default();
+        r.register(count_agg());
+        r.register(sum_agg());
+        r.register(avg_agg());
+        r.register(minmax_agg("min", true));
+        r.register(minmax_agg("max", false));
+        r
+    }
+
+    /// Registers (or replaces) an aggregate.
+    pub fn register(&mut self, f: AggregateFn) {
+        self.map.insert(f.name.clone(), f);
+    }
+
+    /// Looks up an aggregate by name.
+    pub fn get(&self, name: &str) -> Result<&AggregateFn> {
+        self.map
+            .get(name)
+            .ok_or_else(|| ExecError::NotFound(format!("aggregate {name}")))
+    }
+
+    /// Registered names (for catalog listings).
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.map.keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+/// Phase 1: folds a fragment into per-group partial states. `group_cols`
+/// picks the GROUP BY columns; the whole input tuple is handed to the
+/// aggregate's local function.
+pub fn local_aggregate(
+    input: &[Tuple],
+    group_cols: &[usize],
+    agg: &AggregateFn,
+) -> Result<Vec<(Vec<Value>, Tuple)>> {
+    let mut groups: HashMap<Vec<u8>, (Vec<Value>, Option<Tuple>)> = HashMap::new();
+    for t in input {
+        let mut key_bytes = Vec::new();
+        let mut key_vals = Vec::with_capacity(group_cols.len());
+        for &c in group_cols {
+            let v = t.get(c)?;
+            key_bytes.extend(index_key(v));
+            key_bytes.push(0xFF); // separator
+            key_vals.push(v.clone());
+        }
+        let entry = groups.entry(key_bytes).or_insert_with(|| (key_vals, None));
+        (agg.local)(&mut entry.1, t)?;
+    }
+    let mut out: Vec<(Vec<Value>, Tuple)> = groups
+        .into_values()
+        .filter_map(|(k, state)| state.map(|s| (k, s)))
+        .collect();
+    // Deterministic order for tests and stable output.
+    out.sort_by(|a, b| {
+        let ka: Vec<u8> = a.0.iter().flat_map(index_key).collect();
+        let kb: Vec<u8> = b.0.iter().flat_map(index_key).collect();
+        ka.cmp(&kb)
+    });
+    Ok(out)
+}
+
+/// Phase 2: merges every node's partials and finishes each group. Returns
+/// `(group values…, aggregate result)` tuples. This operator is the
+/// sequential tail the paper calls out for Q11/Q12.
+pub fn global_aggregate(
+    partials: Vec<Vec<(Vec<Value>, Tuple)>>,
+    agg: &AggregateFn,
+) -> Result<Vec<Tuple>> {
+    let mut merged: HashMap<Vec<u8>, (Vec<Value>, Option<Tuple>)> = HashMap::new();
+    for node_partials in partials {
+        for (key_vals, state) in node_partials {
+            let key: Vec<u8> = key_vals.iter().flat_map(index_key).collect();
+            let entry = merged.entry(key).or_insert_with(|| (key_vals, None));
+            (agg.global)(&mut entry.1, &state)?;
+        }
+    }
+    let mut keys: Vec<Vec<u8>> = merged.keys().cloned().collect();
+    keys.sort();
+    let mut out = Vec::with_capacity(keys.len());
+    for k in keys {
+        let (group, state) = merged.remove(&k).expect("key present");
+        let state = state.expect("at least one partial per group");
+        let mut values = group;
+        values.push((agg.finish)(state)?);
+        out.push(Tuple::new(values));
+    }
+    Ok(out)
+}
+
+/// `count(*)`.
+pub fn count_agg() -> AggregateFn {
+    AggregateFn {
+        name: "count".into(),
+        local: Arc::new(|st, _| {
+            let n = match st {
+                Some(t) => t.get(0)?.as_int()? + 1,
+                None => 1,
+            };
+            *st = Some(Tuple::new(vec![Value::Int(n)]));
+            Ok(())
+        }),
+        global: Arc::new(|st, p| {
+            let n = match st {
+                Some(t) => t.get(0)?.as_int()? + p.get(0)?.as_int()?,
+                None => p.get(0)?.as_int()?,
+            };
+            *st = Some(Tuple::new(vec![Value::Int(n)]));
+            Ok(())
+        }),
+        finish: Arc::new(|t| Ok(t.get(0)?.clone())),
+    }
+}
+
+/// `sum(col 0)` over floats/ints.
+pub fn sum_agg() -> AggregateFn {
+    AggregateFn {
+        name: "sum".into(),
+        local: Arc::new(|st, t| {
+            let add = t.get(0)?.as_float()?;
+            let s = match st {
+                Some(t) => t.get(0)?.as_float()? + add,
+                None => add,
+            };
+            *st = Some(Tuple::new(vec![Value::Float(s)]));
+            Ok(())
+        }),
+        global: Arc::new(|st, p| {
+            let add = p.get(0)?.as_float()?;
+            let s = match st {
+                Some(t) => t.get(0)?.as_float()? + add,
+                None => add,
+            };
+            *st = Some(Tuple::new(vec![Value::Float(s)]));
+            Ok(())
+        }),
+        finish: Arc::new(|t| Ok(t.get(0)?.clone())),
+    }
+}
+
+/// `avg(col 0)`: partial state is `(sum, count)` — the paper's running
+/// example of a two-phase aggregate.
+pub fn avg_agg() -> AggregateFn {
+    AggregateFn {
+        name: "avg".into(),
+        local: Arc::new(|st, t| {
+            let x = t.get(0)?.as_float()?;
+            let (s, n) = match st {
+                Some(t) => (t.get(0)?.as_float()? + x, t.get(1)?.as_int()? + 1),
+                None => (x, 1),
+            };
+            *st = Some(Tuple::new(vec![Value::Float(s), Value::Int(n)]));
+            Ok(())
+        }),
+        global: Arc::new(|st, p| {
+            let (ps, pn) = (p.get(0)?.as_float()?, p.get(1)?.as_int()?);
+            let (s, n) = match st {
+                Some(t) => (t.get(0)?.as_float()? + ps, t.get(1)?.as_int()? + pn),
+                None => (ps, pn),
+            };
+            *st = Some(Tuple::new(vec![Value::Float(s), Value::Int(n)]));
+            Ok(())
+        }),
+        finish: Arc::new(|t| {
+            Ok(Value::Float(t.get(0)?.as_float()? / t.get(1)?.as_int()? as f64))
+        }),
+    }
+}
+
+/// `min`/`max`(col 0) by the order-preserving key encoding.
+pub fn minmax_agg(name: &str, is_min: bool) -> AggregateFn {
+    let better = move |cur: &Value, cand: &Value| -> bool {
+        let c = index_key(cand).cmp(&index_key(cur));
+        if is_min {
+            c.is_lt()
+        } else {
+            c.is_gt()
+        }
+    };
+    let pick = move |st: &mut Option<Tuple>, v: &Value| {
+        let replace = match st.as_ref() {
+            Some(t) => t.get(0).map(|cur| better(cur, v)).unwrap_or(true),
+            None => true,
+        };
+        if replace {
+            *st = Some(Tuple::new(vec![v.clone()]));
+        }
+    };
+    AggregateFn {
+        name: name.into(),
+        local: Arc::new(move |st, t| {
+            pick(st, t.get(0)?);
+            Ok(())
+        }),
+        global: Arc::new(move |st, p| {
+            pick(st, p.get(0)?);
+            Ok(())
+        }),
+        finish: Arc::new(|t| Ok(t.get(0)?.clone())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t2(g: i64, v: f64) -> Tuple {
+        // aggregate input convention: col 0 = value, col 1 = group
+        Tuple::new(vec![Value::Float(v), Value::Int(g)])
+    }
+
+    /// Distributes rows across "nodes", runs both phases, returns results.
+    fn run(agg: &AggregateFn, rows: Vec<Tuple>, nodes: usize, group: &[usize]) -> Vec<Tuple> {
+        let mut frags: Vec<Vec<Tuple>> = vec![Vec::new(); nodes];
+        for (i, r) in rows.into_iter().enumerate() {
+            frags[i % nodes].push(r);
+        }
+        let partials: Vec<_> = frags
+            .iter()
+            .map(|f| local_aggregate(f, group, agg).unwrap())
+            .collect();
+        global_aggregate(partials, agg).unwrap()
+    }
+
+    #[test]
+    fn count_per_group_across_nodes() {
+        let rows: Vec<Tuple> = (0..30).map(|i| t2(i64::from(i % 3), 0.0)).collect();
+        let out = run(&count_agg(), rows, 4, &[1]);
+        assert_eq!(out.len(), 3);
+        for row in &out {
+            assert_eq!(row.get(1).unwrap(), &Value::Int(10));
+        }
+    }
+
+    #[test]
+    fn avg_matches_reference() {
+        let rows: Vec<Tuple> = (0..100).map(|i| t2(0, f64::from(i))).collect();
+        let out = run(&avg_agg(), rows, 3, &[1]);
+        assert_eq!(out.len(), 1);
+        let avg = out[0].get(1).unwrap().as_float().unwrap();
+        assert!((avg - 49.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sum_and_minmax() {
+        let rows = vec![t2(0, 5.0), t2(0, -2.0), t2(0, 7.5)];
+        let s = run(&sum_agg(), rows.clone(), 2, &[1]);
+        assert!((s[0].get(1).unwrap().as_float().unwrap() - 10.5).abs() < 1e-9);
+        let mn = run(&minmax_agg("min", true), rows.clone(), 2, &[1]);
+        assert_eq!(mn[0].get(1).unwrap(), &Value::Float(-2.0));
+        let mx = run(&minmax_agg("max", false), rows, 2, &[1]);
+        assert_eq!(mx[0].get(1).unwrap(), &Value::Float(7.5));
+    }
+
+    #[test]
+    fn grouping_key_is_composite_safe() {
+        // Groups ("a", "bc") and ("ab", "c") must stay distinct.
+        let rows = vec![
+            Tuple::new(vec![Value::Float(1.0), Value::Str("a".into()), Value::Str("bc".into())]),
+            Tuple::new(vec![Value::Float(2.0), Value::Str("ab".into()), Value::Str("c".into())]),
+        ];
+        let out = run(&count_agg(), rows, 1, &[1, 2]);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn registry_registration_and_lookup() {
+        let mut r = AggRegistry::with_builtins();
+        assert!(r.get("avg").is_ok());
+        assert!(r.get("closest").is_err());
+        // Register a new aggregate (the §2.4 extension path).
+        let custom = AggregateFn {
+            name: "closest".into(),
+            local: count_agg().local,
+            global: count_agg().global,
+            finish: count_agg().finish,
+        };
+        r.register(custom);
+        assert!(r.get("closest").is_ok());
+        assert!(r.names().contains(&"closest".to_string()));
+    }
+
+    #[test]
+    fn empty_input_yields_no_groups() {
+        let out = run(&count_agg(), vec![], 2, &[1]);
+        assert!(out.is_empty());
+    }
+}

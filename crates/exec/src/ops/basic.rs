@@ -1,0 +1,95 @@
+//! Selection, projection and sort.
+
+use crate::table::index_key;
+use crate::tuple::Tuple;
+use crate::Result;
+
+/// Filters tuples by a predicate (the parallel `select` operator; each node
+/// runs one instance over its fragment).
+pub fn select(input: Vec<Tuple>, mut pred: impl FnMut(&Tuple) -> Result<bool>) -> Result<Vec<Tuple>> {
+    let mut out = Vec::new();
+    for t in input {
+        if pred(&t)? {
+            out.push(t);
+        }
+    }
+    Ok(out)
+}
+
+/// Maps every tuple (projection with ADT method evaluation — clip,
+/// lower_res, area … happen inside `f`). `f` returning `None` drops the
+/// tuple (used when a clip produces an empty region).
+pub fn project(input: Vec<Tuple>, mut f: impl FnMut(Tuple) -> Result<Option<Tuple>>) -> Result<Vec<Tuple>> {
+    let mut out = Vec::with_capacity(input.len());
+    for t in input {
+        if let Some(t) = f(t)? {
+            out.push(t);
+        }
+    }
+    Ok(out)
+}
+
+/// Sorts tuples by column `col` using the order-preserving index encoding
+/// (query 2's `order by date`).
+pub fn sort_by_col(mut input: Vec<Tuple>, col: usize) -> Result<Vec<Tuple>> {
+    // Precompute keys to keep the comparator panic-free.
+    let mut keyed: Vec<(Vec<u8>, Tuple)> = input
+        .drain(..)
+        .map(|t| {
+            let k = t.get(col).map(index_key)?;
+            Ok((k, t))
+        })
+        .collect::<Result<_>>()?;
+    keyed.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(keyed.into_iter().map(|(_, t)| t).collect())
+}
+
+/// Concatenates two tuples (join output composition).
+pub fn concat(a: &Tuple, b: &Tuple) -> Tuple {
+    let mut values = Vec::with_capacity(a.values.len() + b.values.len());
+    values.extend(a.values.iter().cloned());
+    values.extend(b.values.iter().cloned());
+    Tuple::new(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn t(v: i64) -> Tuple {
+        Tuple::new(vec![Value::Int(v)])
+    }
+
+    #[test]
+    fn select_filters() {
+        let out = select((0..10).map(t).collect(), |t| Ok(t.get(0)?.as_int()? % 2 == 0)).unwrap();
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn project_maps_and_drops() {
+        let out = project((0..6).map(t).collect(), |t| {
+            let v = t.get(0)?.as_int()?;
+            Ok(if v >= 3 { Some(t) } else { None })
+        })
+        .unwrap();
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn sort_by_int_col() {
+        let out = sort_by_col(vec![t(5), t(-3), t(9), t(0)], 0).unwrap();
+        let vals: Vec<i64> = out.iter().map(|t| t.get(0).unwrap().as_int().unwrap()).collect();
+        assert_eq!(vals, vec![-3, 0, 5, 9]);
+    }
+
+    #[test]
+    fn concat_tuples() {
+        let a = Tuple::new(vec![Value::Int(1)]);
+        let b = Tuple::new(vec![Value::Str("x".into()), Value::Int(2)]);
+        let c = concat(&a, &b);
+        assert_eq!(c.values.len(), 3);
+        assert_eq!(c.get(2).unwrap(), &Value::Int(2));
+    }
+}

@@ -1,0 +1,11 @@
+//! The operator library (paper §2.4, §2.7).
+//!
+//! Operators work on materialised per-fragment tuple batches; the phase
+//! driver ([`crate::phase`]) runs them per node and the stream layer
+//! ([`crate::stream`]) pipelines them when the threaded driver is used.
+
+pub mod aggregate;
+pub mod basic;
+pub mod closest;
+pub mod join;
+pub mod spatial_join;

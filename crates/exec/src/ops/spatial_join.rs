@@ -1,0 +1,291 @@
+//! Spatial joins: PBSM locally, tile-partitioned + replicated in parallel
+//! (paper §2.4, §2.7.2).
+//!
+//! The parallel algorithm is the paper's two-phase scheme: (1) redecluster
+//! both inputs on the shared spatial grid — shapes spanning several tiles
+//! are *replicated*; (2) every node joins the tuples of the tiles it owns
+//! with a Partition Based Spatial-Merge \[Pate96\] filter + refine pass.
+//! Replication can produce duplicate result pairs (the Wisconsin river ×
+//! US-90 example); they are eliminated with the PBSM *reference-point*
+//! rule: a candidate pair is reported only by the tile containing the
+//! lower-left corner of the two bounding boxes' intersection, and only by
+//! the node owning that tile — each pair is therefore reported exactly
+//! once cluster-wide.
+
+use crate::cluster::Cluster;
+use crate::metrics::QueryMetrics;
+use crate::ops::basic::concat;
+use crate::phase::{route, run_phase};
+use crate::table::TableDef;
+use crate::tuple::Tuple;
+use crate::{NodeId, Result};
+use paradise_geom::{Rect, Shape, TileId};
+use std::collections::HashMap;
+
+/// Filter + refine join of two local tuple batches over the cluster grid,
+/// reporting only pairs whose reference tile belongs to `node`.
+///
+/// Inputs are the node's fragments of spatially-declustered (and therefore
+/// possibly replicated) tables.
+pub fn local_tile_join(
+    cluster: &Cluster,
+    node: NodeId,
+    left: &[Tuple],
+    lcol: usize,
+    right: &[Tuple],
+    rcol: usize,
+) -> Result<Vec<Tuple>> {
+    let grid = cluster.grid();
+    // Bucket tuple indexes by the tiles their bounding boxes cover,
+    // keeping only tiles this node owns (other copies handle the rest).
+    let mut lbuckets: HashMap<TileId, Vec<usize>> = HashMap::new();
+    let mut lboxes: Vec<Rect> = Vec::with_capacity(left.len());
+    for (i, t) in left.iter().enumerate() {
+        let b = t.get(lcol)?.as_shape()?.bbox();
+        lboxes.push(b);
+        for tile in grid.tile_ids_for_rect(&b) {
+            if cluster.node_for_tile(tile) == node {
+                lbuckets.entry(tile).or_default().push(i);
+            }
+        }
+    }
+    let mut rbuckets: HashMap<TileId, Vec<usize>> = HashMap::new();
+    let mut rboxes: Vec<Rect> = Vec::with_capacity(right.len());
+    for (i, t) in right.iter().enumerate() {
+        let b = t.get(rcol)?.as_shape()?.bbox();
+        rboxes.push(b);
+        for tile in grid.tile_ids_for_rect(&b) {
+            if cluster.node_for_tile(tile) == node {
+                rbuckets.entry(tile).or_default().push(i);
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for (tile, lids) in &lbuckets {
+        let Some(rids) = rbuckets.get(tile) else { continue };
+        for &li in lids {
+            for &ri in rids {
+                // Filter: bounding boxes must intersect.
+                let Some(ix) = lboxes[li].intersection(&rboxes[ri]) else {
+                    continue;
+                };
+                // Reference point: report the pair only in the tile holding
+                // the intersection's lower-left corner.
+                if grid.tile_of_point(&ix.lo) != *tile {
+                    continue;
+                }
+                // Refine: exact geometry test.
+                let ls: &Shape = left[li].get(lcol)?.as_shape()?;
+                let rs: &Shape = right[ri].get(rcol)?.as_shape()?;
+                if ls.overlaps(rs) {
+                    out.push(concat(&left[li], &right[ri]));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Phase 1 of the parallel spatial join: redeclusters a table's tuples onto
+/// the shared grid (replicating spanning shapes), returning each node's
+/// received batch. Skip this for tables already spatially declustered —
+/// "if either of the input tables are already declustered on their joining
+/// attributes, then the first phase can be eliminated for that table".
+pub fn spatial_repartition(
+    cluster: &Cluster,
+    metrics: &mut QueryMetrics,
+    table: &TableDef,
+    col: usize,
+    phase_name: &str,
+) -> Result<Vec<Vec<Tuple>>> {
+    let outbox = run_phase(cluster, metrics, phase_name, |node| {
+        let mut msgs: Vec<(NodeId, Tuple)> = Vec::new();
+        table.scan_fragment(cluster, node, |_, t| {
+            let b = t.get(col)?.as_shape()?.bbox();
+            let mut dests: Vec<NodeId> = cluster
+                .grid()
+                .tile_ids_for_rect(&b)
+                .into_iter()
+                .map(|tile| cluster.node_for_tile(tile))
+                .collect();
+            dests.sort_unstable();
+            dests.dedup();
+            for d in dests {
+                msgs.push((d, t.clone()));
+            }
+            Ok(())
+        })?;
+        Ok(msgs)
+    })?;
+    Ok(route(cluster, outbox))
+}
+
+/// The full parallel spatial join of two spatially-declustered tables:
+/// every node joins its own fragments (phase 2 only — co-located inputs).
+pub fn parallel_spatial_join(
+    cluster: &Cluster,
+    metrics: &mut QueryMetrics,
+    left: &TableDef,
+    lcol: usize,
+    right: &TableDef,
+    rcol: usize,
+) -> Result<Vec<Vec<Tuple>>> {
+    run_phase(cluster, metrics, "local spatial join", |node| {
+        let l = left.fragment_tuples(cluster, node)?;
+        let r = right.fragment_tuples(cluster, node)?;
+        local_tile_join(cluster, node, &l, lcol, &r, rcol)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+    use crate::decluster::Decluster;
+    use crate::schema::{DataType, Field, Schema};
+    use crate::value::Value;
+    use paradise_geom::{Point, Polyline};
+
+    fn cluster(n: usize, tag: &str) -> Cluster {
+        Cluster::create(&ClusterConfig::for_test(n, tag)).unwrap()
+    }
+
+    fn line_table(name: &str) -> TableDef {
+        TableDef::new(
+            name,
+            Schema::new(vec![
+                Field::new("id", DataType::Str),
+                Field::new("shape", DataType::Polyline),
+            ]),
+            Decluster::Spatial { col: 1 },
+        )
+    }
+
+    fn line(id: &str, pts: &[(f64, f64)]) -> Tuple {
+        Tuple::new(vec![
+            Value::Str(id.into()),
+            Value::Shape(Shape::Polyline(
+                Polyline::new(pts.iter().map(|&(x, y)| Point::new(x, y)).collect()).unwrap(),
+            )),
+        ])
+    }
+
+    /// Brute-force expected crossing pairs.
+    fn brute(pairs_l: &[Tuple], pairs_r: &[Tuple]) -> usize {
+        let mut n = 0;
+        for l in pairs_l {
+            for r in pairs_r {
+                let ls = l.get(1).unwrap().as_shape().unwrap();
+                let rs = r.get(1).unwrap().as_shape().unwrap();
+                if ls.overlaps(rs) {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    #[test]
+    fn parallel_join_no_duplicates_for_multi_crossing_pair() {
+        // The paper's Wisconsin-river × US-90 case: the shapes cross twice
+        // in regions owned by different tiles/nodes; the result must still
+        // contain exactly one pair.
+        let c = cluster(4, "sj1");
+        let rivers = line_table("rivers");
+        let roads = line_table("roads");
+        // A long zig-zag river and a long straight road crossing repeatedly.
+        let river = line(
+            "wisconsin",
+            &[(-120.0, -40.0), (-60.0, 40.0), (0.0, -40.0), (60.0, 40.0), (120.0, -40.0)],
+        );
+        let road = line("us90", &[(-150.0, 0.0), (150.0, 0.0)]);
+        rivers.load(&c, vec![river.clone()]).unwrap();
+        roads.load(&c, vec![road.clone()]).unwrap();
+        // Both tuples are replicated to several nodes.
+        assert!(rivers.stored_count(&c) > 1);
+        let mut m = QueryMetrics::default();
+        let per_node = parallel_spatial_join(&c, &mut m, &rivers, 1, &roads, 1).unwrap();
+        let total: usize = per_node.iter().map(|v| v.len()).sum();
+        assert_eq!(total, 1, "duplicates must be eliminated");
+    }
+
+    #[test]
+    fn parallel_join_matches_brute_force() {
+        let c = cluster(4, "sj2");
+        let drainage = line_table("drainage");
+        let roads = line_table("roads");
+        // Deterministic pseudo-random short segments.
+        let mut x: u64 = 42;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x % 3000) as f64 / 10.0 - 150.0
+        };
+        // Vary the segment direction — identical directions would make
+        // every pair parallel and crossing-free.
+        let mk = |next: &mut dyn FnMut() -> f64, id: String| {
+            let (a, b) = (next(), next() * 0.5);
+            let (dx, dy) = (next() / 15.0, next() / 25.0);
+            line(&id, &[(a, b), (a + dx, b + dy)])
+        };
+        let dr: Vec<Tuple> = (0..80).map(|i| mk(&mut next, format!("d{i}"))).collect();
+        let rd: Vec<Tuple> = (0..80).map(|i| mk(&mut next, format!("r{i}"))).collect();
+        drainage.load(&c, dr.clone()).unwrap();
+        roads.load(&c, rd.clone()).unwrap();
+        let mut m = QueryMetrics::default();
+        let per_node = parallel_spatial_join(&c, &mut m, &drainage, 1, &roads, 1).unwrap();
+        let total: usize = per_node.iter().map(|v| v.len()).sum();
+        assert_eq!(total, brute(&dr, &rd));
+        assert!(total > 0, "test should produce some crossings");
+    }
+
+    #[test]
+    fn local_tile_join_respects_node_ownership() {
+        // A pair visible on a node that doesn't own the reference tile must
+        // not be reported by that node.
+        let c = cluster(4, "sj3");
+        let l = vec![line("a", &[(-50.0, -50.0), (50.0, 50.0)])];
+        let r = vec![line("b", &[(-50.0, 50.0), (50.0, -50.0)])];
+        let mut owners = Vec::new();
+        let mut total = 0;
+        for node in 0..4 {
+            let out = local_tile_join(&c, node, &l, 1, &r, 1).unwrap();
+            if !out.is_empty() {
+                owners.push(node);
+            }
+            total += out.len();
+        }
+        assert_eq!(total, 1);
+        assert_eq!(owners.len(), 1);
+    }
+
+    #[test]
+    fn spatial_repartition_replicates_and_ships() {
+        let c = cluster(4, "sj4");
+        // A hash-declustered table being redeclustered spatially (phase 1).
+        let t = TableDef::new(
+            "roads_hash",
+            Schema::new(vec![
+                Field::new("id", DataType::Str),
+                Field::new("shape", DataType::Polyline),
+            ]),
+            Decluster::Hash { col: 0 },
+        );
+        let rows: Vec<Tuple> = (0..40)
+            .map(|i| {
+                let x = f64::from(i) * 7.0 - 140.0;
+                line(&format!("r{i}"), &[(x, -20.0), (x + 5.0, 20.0)])
+            })
+            .collect();
+        t.load(&c, rows).unwrap();
+        let mut m = QueryMetrics::default();
+        let base = c.net.snapshot();
+        let parts = spatial_repartition(&c, &mut m, &t, 1, "repartition roads").unwrap();
+        let received: usize = parts.iter().map(|v| v.len()).sum();
+        assert!(received >= 40, "every tuple must arrive somewhere");
+        assert!(c.net.since(base).tuples > 0, "repartitioning crosses nodes");
+        assert_eq!(m.phases.len(), 1);
+    }
+}

@@ -1,0 +1,111 @@
+//! The measured phase driver.
+//!
+//! A query is a sequence of *phases*. Within a phase every node processes
+//! its fragment independently (shared-nothing); between phases tuples are
+//! routed to other nodes (repartitioning / replication / collection). The
+//! driver executes node fragments one after another on the host, measuring
+//! each node's busy time; [`crate::metrics::QueryMetrics::simulated_time`]
+//! then reconstructs the parallel execution time as the per-phase critical
+//! path — the paper's cost model with one CPU per node.
+
+use crate::cluster::Cluster;
+use crate::metrics::QueryMetrics;
+use crate::tuple::Tuple;
+use crate::{NodeId, Result};
+use std::time::Instant;
+
+/// Runs one parallel phase: `work(node_id)` for every node, recording
+/// per-node busy time into `metrics` under `name`. Returns each node's
+/// output.
+pub fn run_phase<O>(
+    cluster: &Cluster,
+    metrics: &mut QueryMetrics,
+    name: &str,
+    mut work: impl FnMut(NodeId) -> Result<O>,
+) -> Result<Vec<O>> {
+    let mut busy = Vec::with_capacity(cluster.num_nodes());
+    let mut outs = Vec::with_capacity(cluster.num_nodes());
+    for id in 0..cluster.num_nodes() {
+        let t0 = Instant::now();
+        outs.push(work(id)?);
+        busy.push(t0.elapsed());
+    }
+    metrics.push_phase(name, busy);
+    Ok(outs)
+}
+
+/// Runs a sequential (coordinator-side) step, accumulating its time into
+/// `metrics.sequential` — e.g. the single global-aggregate operator of Q12
+/// that the paper calls out as "a sequential portion of the query".
+pub fn run_sequential<O>(
+    metrics: &mut QueryMetrics,
+    work: impl FnOnce() -> Result<O>,
+) -> Result<O> {
+    let t0 = Instant::now();
+    let out = work()?;
+    metrics.sequential += t0.elapsed();
+    Ok(out)
+}
+
+/// Routes per-node outboxes to per-node inboxes, accounting network bytes
+/// for every tuple that crosses a node boundary. `outbox[src]` is the list
+/// of `(dest, tuple)` pairs node `src` emitted.
+pub fn route(cluster: &Cluster, outbox: Vec<Vec<(NodeId, Tuple)>>) -> Vec<Vec<Tuple>> {
+    let mut inbox: Vec<Vec<Tuple>> = (0..cluster.num_nodes()).map(|_| Vec::new()).collect();
+    for (src, msgs) in outbox.into_iter().enumerate() {
+        for (dest, tuple) in msgs {
+            if dest != src {
+                cluster.net.ship(tuple.wire_size());
+            }
+            inbox[dest].push(tuple);
+        }
+    }
+    inbox
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+    use crate::value::Value;
+
+    #[test]
+    fn phases_record_per_node_busy() {
+        let cluster = Cluster::create(&ClusterConfig::for_test(3, "phase")).unwrap();
+        let mut m = QueryMetrics::default();
+        let outs = run_phase(&cluster, &mut m, "square", |id| Ok(id * id)).unwrap();
+        assert_eq!(outs, vec![0, 1, 4]);
+        assert_eq!(m.phases.len(), 1);
+        assert_eq!(m.phases[0].node_busy.len(), 3);
+        assert_eq!(m.phases[0].name, "square");
+    }
+
+    #[test]
+    fn route_accounts_cross_node_traffic_only() {
+        let cluster = Cluster::create(&ClusterConfig::for_test(2, "route")).unwrap();
+        let t = |v: i64| Tuple::new(vec![Value::Int(v)]);
+        let base = cluster.net.snapshot();
+        let inbox = route(
+            &cluster,
+            vec![
+                vec![(0, t(1)), (1, t(2))], // node 0: one local, one remote
+                vec![(0, t(3))],            // node 1: one remote
+            ],
+        );
+        assert_eq!(inbox[0].len(), 2);
+        assert_eq!(inbox[1].len(), 1);
+        let d = cluster.net.since(base);
+        assert_eq!(d.tuples, 2, "only cross-node tuples are network traffic");
+        assert!(d.bytes > 0);
+    }
+
+    #[test]
+    fn sequential_time_accumulates() {
+        let mut m = QueryMetrics::default();
+        let v = run_sequential(&mut m, || Ok(41 + 1)).unwrap();
+        assert_eq!(v, 42);
+        let first = m.sequential;
+        run_sequential(&mut m, || Ok(())).unwrap();
+        assert!(m.sequential >= first);
+    }
+}

@@ -1,0 +1,590 @@
+//! Declustered tables: fragments, loading, scans and per-fragment indexes.
+
+use crate::cluster::{Cluster, NodeId};
+use crate::decluster::Decluster;
+use crate::raster_store;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::{RasterValue, Value};
+use crate::{ExecError, Result};
+use paradise_storage::{Oid, RTree};
+
+/// Load statistics (replication factor is the §2.7.1 tradeoff).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadStats {
+    /// Tuples presented to the loader.
+    pub input_tuples: u64,
+    /// Physical copies stored (≥ input for spatial declustering).
+    pub stored_tuples: u64,
+    /// Bytes written (tuple encodings, excluding raster tiles).
+    pub bytes: u64,
+}
+
+/// A table declustered across the cluster.
+#[derive(Debug, Clone)]
+pub struct TableDef {
+    /// Table name.
+    pub name: String,
+    /// Column schema.
+    pub schema: Schema,
+    /// How tuples map to nodes.
+    pub decluster: Decluster,
+    /// Whether raster attributes' tiles are spread across nodes (§2.6).
+    pub decluster_rasters: bool,
+    /// Target raster tile payload in bytes.
+    pub tile_bytes: usize,
+}
+
+impl TableDef {
+    /// Defines a table.
+    pub fn new(name: &str, schema: Schema, decluster: Decluster) -> Self {
+        TableDef {
+            name: name.to_string(),
+            schema,
+            decluster,
+            decluster_rasters: false,
+            tile_bytes: raster_store::DEFAULT_TILE_BYTES,
+        }
+    }
+
+    /// Enables/disables raster-tile declustering (§2.6, Table 3.5).
+    pub fn with_raster_decluster(mut self, on: bool) -> Self {
+        self.decluster_rasters = on;
+        self
+    }
+
+    /// Overrides the raster tile size.
+    pub fn with_tile_bytes(mut self, bytes: usize) -> Self {
+        self.tile_bytes = bytes;
+        self
+    }
+
+    /// Heap-file name of this table's fragment on every node.
+    pub fn fragment_file(&self) -> String {
+        format!("tbl_{}", self.name)
+    }
+
+    fn btree_index_file(&self, col: usize) -> String {
+        format!("idx_{}_{col}", self.name)
+    }
+
+    fn rtree_index_file(&self, col: usize) -> String {
+        format!("rtidx_{}_{col}", self.name)
+    }
+
+    /// Loads tuples, routing each to its destination node(s) and
+    /// materialising in-memory raster attributes as stored tiles on the
+    /// destination.
+    pub fn load(
+        &self,
+        cluster: &Cluster,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> Result<LoadStats> {
+        let mut stats = LoadStats::default();
+        // Ensure fragments exist on every node.
+        for n in cluster.nodes() {
+            n.store.create_file(&self.fragment_file())?;
+        }
+        for (seq, tuple) in tuples.into_iter().enumerate() {
+            let dests = self.decluster.route(cluster, &tuple, seq as u64)?;
+            stats.input_tuples += 1;
+            for &dest in &dests {
+                let mut stored = tuple.clone();
+                for v in &mut stored.values {
+                    if let Value::Raster(RasterValue::Mem(r)) = v {
+                        let sr = raster_store::store_raster(
+                            cluster,
+                            dest,
+                            r,
+                            self.decluster_rasters,
+                            self.tile_bytes,
+                        )?;
+                        *v = Value::Raster(RasterValue::Stored(sr));
+                    }
+                }
+                let bytes = stored.encode();
+                stats.bytes += bytes.len() as u64;
+                stats.stored_tuples += 1;
+                cluster
+                    .node(dest)
+                    .store
+                    .file(&self.fragment_file())
+                    .expect("fragment created above")
+                    .insert(&bytes)?;
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Streams every tuple of one node's fragment.
+    pub fn scan_fragment(
+        &self,
+        cluster: &Cluster,
+        node: NodeId,
+        mut f: impl FnMut(Oid, Tuple) -> Result<()>,
+    ) -> Result<()> {
+        let Some(file) = cluster.node(node).store.file(&self.fragment_file()) else {
+            return Ok(()); // unloaded table: empty fragment
+        };
+        let mut inner_err = None;
+        file.for_each(|oid, bytes| {
+            if inner_err.is_some() {
+                return Ok(());
+            }
+            match Tuple::decode(&bytes) {
+                Ok(t) => {
+                    if let Err(e) = f(oid, t) {
+                        inner_err = Some(e);
+                    }
+                    Ok(())
+                }
+                Err(_) => Err(paradise_storage::StorageError::Corrupt("bad tuple bytes")),
+            }
+        })?;
+        match inner_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Materialises one node's fragment.
+    pub fn fragment_tuples(&self, cluster: &Cluster, node: NodeId) -> Result<Vec<Tuple>> {
+        let mut out = Vec::new();
+        self.scan_fragment(cluster, node, |_, t| {
+            out.push(t);
+            Ok(())
+        })?;
+        Ok(out)
+    }
+
+    /// Reads one tuple by OID from a node's fragment.
+    pub fn read_tuple(&self, cluster: &Cluster, node: NodeId, oid: Oid) -> Result<Tuple> {
+        let file = cluster
+            .node(node)
+            .store
+            .file(&self.fragment_file())
+            .ok_or_else(|| ExecError::NotFound(format!("table {}", self.name)))?;
+        Tuple::decode(&file.read(oid)?)
+    }
+
+    /// Total stored tuples across nodes (including replicas).
+    pub fn stored_count(&self, cluster: &Cluster) -> u64 {
+        cluster
+            .nodes()
+            .iter()
+            .filter_map(|n| n.store.file(&self.fragment_file()))
+            .map(|f| f.count())
+            .sum()
+    }
+
+    /// Builds a per-fragment B+-tree index on column `col` (scalar types).
+    pub fn build_btree_index(&self, cluster: &Cluster, col: usize) -> Result<()> {
+        for node in 0..cluster.num_nodes() {
+            let mut pairs: Vec<(Vec<u8>, u64)> = Vec::new();
+            self.scan_fragment(cluster, node, |oid, t| {
+                pairs.push((index_key(t.get(col)?), pack_oid(oid)));
+                Ok(())
+            })?;
+            pairs.sort();
+            let tree = cluster
+                .node(node)
+                .store
+                .create_btree(&self.btree_index_file(col))?;
+            tree.bulk_load(&pairs)?;
+        }
+        Ok(())
+    }
+
+    /// Probes the B+-tree index on `col` for `value` on one node.
+    pub fn btree_probe(
+        &self,
+        cluster: &Cluster,
+        node: NodeId,
+        col: usize,
+        value: &Value,
+    ) -> Result<Vec<Tuple>> {
+        let Some(tree) = cluster
+            .node(node)
+            .store
+            .btree(&self.btree_index_file(col))
+        else {
+            return Err(ExecError::NotFound(format!(
+                "btree index on {}.{col}",
+                self.name
+            )));
+        };
+        tree.get_all(&index_key(value))?
+            .into_iter()
+            .map(|v| self.read_tuple(cluster, node, unpack_oid(v)))
+            .collect()
+    }
+
+    /// Range probe on the B+-tree index (inclusive bounds).
+    pub fn btree_range(
+        &self,
+        cluster: &Cluster,
+        node: NodeId,
+        col: usize,
+        lo: &Value,
+        hi: &Value,
+    ) -> Result<Vec<Tuple>> {
+        let Some(tree) = cluster
+            .node(node)
+            .store
+            .btree(&self.btree_index_file(col))
+        else {
+            return Err(ExecError::NotFound(format!(
+                "btree index on {}.{col}",
+                self.name
+            )));
+        };
+        tree.range(&index_key(lo), &index_key(hi))?
+            .into_iter()
+            .map(|(_, v)| self.read_tuple(cluster, node, unpack_oid(v)))
+            .collect()
+    }
+
+    /// Builds a per-fragment R*-tree on spatial column `col`, bulk loaded
+    /// (the paper bulk-loads spatial indexes at load time \[DeWi94\] and on
+    /// the fly after redeclustering). Persisted as a serialized object.
+    pub fn build_rtree_index(&self, cluster: &Cluster, col: usize) -> Result<()> {
+        for node in 0..cluster.num_nodes() {
+            let mut entries: Vec<(paradise_geom::Rect, u64)> = Vec::new();
+            self.scan_fragment(cluster, node, |oid, t| {
+                entries.push((t.get(col)?.as_shape()?.bbox(), pack_oid(oid)));
+                Ok(())
+            })?;
+            let tree = RTree::bulk_load(entries);
+            let file = cluster
+                .node(node)
+                .store
+                .create_file(&self.rtree_index_file(col))?;
+            file.insert(&tree.to_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Loads one node's persisted R*-tree index on `col`.
+    pub fn rtree_index(&self, cluster: &Cluster, node: NodeId, col: usize) -> Result<RTree> {
+        let file = cluster
+            .node(node)
+            .store
+            .file(&self.rtree_index_file(col))
+            .ok_or_else(|| {
+                ExecError::NotFound(format!("rtree index on {}.{col}", self.name))
+            })?;
+        let rows = file.scan()?;
+        let bytes = rows
+            .first()
+            .ok_or_else(|| ExecError::NotFound("empty rtree index file".into()))?;
+        Ok(RTree::from_bytes(&bytes.1)?)
+    }
+
+    /// Drops the table's fragments and indexes everywhere.
+    pub fn drop_table(&self, cluster: &Cluster) -> Result<()> {
+        for n in cluster.nodes() {
+            for name in n.store.names() {
+                if name == self.fragment_file()
+                    || name.starts_with(&format!("idx_{}_", self.name))
+                    || name.starts_with(&format!("rtidx_{}_", self.name))
+                {
+                    n.store.drop_entry(&name)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Packs an OID into the `u64` payload of an index entry (page numbers stay
+/// far below 2^48 at benchmark scale).
+pub fn pack_oid(oid: Oid) -> u64 {
+    (oid.page << 16) | u64::from(oid.slot)
+}
+
+/// Inverse of [`pack_oid`].
+pub fn unpack_oid(v: u64) -> Oid {
+    Oid { page: v >> 16, slot: (v & 0xFFFF) as u16 }
+}
+
+/// Order-preserving index key encoding for scalar values.
+pub fn index_key(v: &Value) -> Vec<u8> {
+    match v {
+        Value::Null => vec![0],
+        Value::Int(i) => {
+            let mut out = vec![1];
+            out.extend_from_slice(&((*i as u64) ^ (1u64 << 63)).to_be_bytes());
+            out
+        }
+        Value::Date(d) => {
+            let mut out = vec![1]; // dates sort with ints
+            out.extend_from_slice(&((d.0 as u64) ^ (1u64 << 63)).to_be_bytes());
+            out
+        }
+        Value::Float(f) => {
+            // IEEE total-order trick: flip all bits for negatives, sign for
+            // positives.
+            let bits = f.to_bits();
+            let key = if *f >= 0.0 { bits ^ (1u64 << 63) } else { !bits };
+            let mut out = vec![2];
+            out.extend_from_slice(&key.to_be_bytes());
+            out
+        }
+        Value::Str(s) => {
+            let mut out = vec![3];
+            out.extend_from_slice(s.as_bytes());
+            out
+        }
+        // Spatial/raster columns use R-trees, but give them a stable key so
+        // hash-grouping on shapes is possible.
+        other => {
+            let mut out = vec![9];
+            other.encode(&mut out);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+    use crate::schema::{DataType, Field};
+    use crate::value::Date;
+    use paradise_geom::{Point, Polygon, Rect, Shape};
+
+    fn cluster(n: usize, tag: &str) -> Cluster {
+        Cluster::create(&ClusterConfig::for_test(n, tag)).unwrap()
+    }
+
+    fn cities_schema() -> Schema {
+        Schema::new(vec![
+            Field::new("id", DataType::Str),
+            Field::new("type", DataType::Int),
+            Field::new("location", DataType::Point),
+            Field::new("name", DataType::Str),
+        ])
+    }
+
+    fn city(i: i64, x: f64, y: f64, name: &str) -> Tuple {
+        Tuple::new(vec![
+            Value::Str(format!("pp-{i}")),
+            Value::Int(i % 6),
+            Value::Shape(Shape::Point(Point::new(x, y))),
+            Value::Str(name.to_string()),
+        ])
+    }
+
+    #[test]
+    fn round_robin_load_balances() {
+        let c = cluster(4, "t1");
+        let t = TableDef::new("pp", cities_schema(), Decluster::RoundRobin);
+        let tuples: Vec<Tuple> = (0..100)
+            .map(|i| city(i, f64::from(i as i32) - 50.0, 0.0, "x"))
+            .collect();
+        let stats = t.load(&c, tuples).unwrap();
+        assert_eq!(stats.input_tuples, 100);
+        assert_eq!(stats.stored_tuples, 100, "round robin never replicates");
+        for node in 0..4 {
+            assert_eq!(t.fragment_tuples(&c, node).unwrap().len(), 25);
+        }
+    }
+
+    #[test]
+    fn spatial_load_replicates_spanning_tuples() {
+        let c = cluster(4, "t2");
+        let schema = Schema::new(vec![
+            Field::new("id", DataType::Str),
+            Field::new("shape", DataType::Polygon),
+        ]);
+        let t = TableDef::new("lc", schema, Decluster::Spatial { col: 1 });
+        // One tiny polygon and one giant polygon.
+        let tiny = Polygon::from_rect(
+            &Rect::from_corners(Point::new(10.0, 10.0), Point::new(10.1, 10.1)).unwrap(),
+        );
+        let giant = Polygon::from_rect(
+            &Rect::from_corners(Point::new(-150.0, -70.0), Point::new(150.0, 70.0)).unwrap(),
+        );
+        let stats = t
+            .load(
+                &c,
+                vec![
+                    Tuple::new(vec![Value::Str("tiny".into()), Value::Shape(Shape::Polygon(tiny))]),
+                    Tuple::new(vec![
+                        Value::Str("giant".into()),
+                        Value::Shape(Shape::Polygon(giant)),
+                    ]),
+                ],
+            )
+            .unwrap();
+        assert_eq!(stats.input_tuples, 2);
+        assert!(stats.stored_tuples > 2, "giant polygon must be replicated");
+        assert_eq!(t.stored_count(&c), stats.stored_tuples);
+    }
+
+    #[test]
+    fn btree_index_probe_and_range() {
+        let c = cluster(2, "t3");
+        let t = TableDef::new("pp", cities_schema(), Decluster::RoundRobin);
+        let tuples: Vec<Tuple> = (0..50).map(|i| city(i, 0.0, 0.0, &format!("city{i}"))).collect();
+        t.load(&c, tuples).unwrap();
+        t.build_btree_index(&c, 3).unwrap(); // index on name
+        let mut found = Vec::new();
+        for node in 0..2 {
+            found.extend(t.btree_probe(&c, node, 3, &Value::Str("city7".into())).unwrap());
+        }
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].get(0).unwrap(), &Value::Str("pp-7".into()));
+        // Missing key
+        for node in 0..2 {
+            assert!(t
+                .btree_probe(&c, node, 3, &Value::Str("atlantis".into()))
+                .unwrap()
+                .is_empty());
+        }
+        // Range over the int column.
+        t.build_btree_index(&c, 1).unwrap();
+        let mut hits = 0;
+        for node in 0..2 {
+            hits += t
+                .btree_range(&c, node, 1, &Value::Int(0), &Value::Int(1))
+                .unwrap()
+                .len();
+        }
+        // types cycle 0..6 over 50 tuples: type 0 x9 (0,6,..48), type 1 x9? 50/6
+        let expected = (0..50).filter(|i| i % 6 <= 1).count();
+        assert_eq!(hits, expected);
+    }
+
+    #[test]
+    fn rtree_index_roundtrip() {
+        let c = cluster(2, "t4");
+        let t = TableDef::new("pp", cities_schema(), Decluster::RoundRobin);
+        let tuples: Vec<Tuple> = (0..60)
+            .map(|i| city(i, f64::from(i as i32) * 2.0 - 60.0, 10.0, "x"))
+            .collect();
+        t.load(&c, tuples).unwrap();
+        t.build_rtree_index(&c, 2).unwrap();
+        let window =
+            Rect::from_corners(Point::new(-10.0, 0.0), Point::new(10.0, 20.0)).unwrap();
+        let mut hits = 0;
+        for node in 0..2 {
+            let idx = t.rtree_index(&c, node, 2).unwrap();
+            for (_, packed) in idx.search(&window) {
+                let tup = t.read_tuple(&c, node, unpack_oid(packed)).unwrap();
+                let p = tup.get(2).unwrap().as_shape().unwrap().as_point().unwrap();
+                assert!(window.contains_point(&p));
+                hits += 1;
+            }
+        }
+        // x = 2i - 60 in [-10, 10] => i in [25, 35] => 11 points
+        assert_eq!(hits, 11);
+    }
+
+    #[test]
+    fn index_key_order_preserving() {
+        // ints incl. negatives
+        let ints = [-100i64, -1, 0, 1, 99];
+        let keys: Vec<_> = ints.iter().map(|&i| index_key(&Value::Int(i))).collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        // floats incl. negatives
+        let floats = [-5.5f64, -0.25, 0.0, 0.5, 7.0];
+        let keys: Vec<_> = floats.iter().map(|&f| index_key(&Value::Float(f))).collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        // dates
+        let d1 = index_key(&Value::Date(Date::from_ymd(1988, 4, 1)));
+        let d2 = index_key(&Value::Date(Date::from_ymd(1988, 12, 31)));
+        assert!(d1 < d2);
+        // strings
+        assert!(index_key(&Value::Str("a".into())) < index_key(&Value::Str("b".into())));
+    }
+
+    #[test]
+    fn pack_unpack_oid() {
+        let oid = Oid { page: 123_456, slot: 789 };
+        assert_eq!(unpack_oid(pack_oid(oid)), oid);
+    }
+
+    #[test]
+    fn drop_table_removes_everything() {
+        let c = cluster(2, "t5");
+        let t = TableDef::new("pp", cities_schema(), Decluster::RoundRobin);
+        t.load(&c, (0..10).map(|i| city(i, 0.0, 0.0, "x"))).unwrap();
+        t.build_btree_index(&c, 3).unwrap();
+        t.build_rtree_index(&c, 2).unwrap();
+        t.drop_table(&c).unwrap();
+        assert_eq!(t.stored_count(&c), 0);
+        for node in 0..2 {
+            assert!(t.btree_probe(&c, node, 3, &Value::Str("x".into())).is_err());
+        }
+    }
+
+    #[test]
+    fn raster_attribute_stored_as_tiles_on_destination() {
+        use paradise_array::{BitDepth, Raster};
+        let c = cluster(2, "t6");
+        let schema = Schema::new(vec![
+            Field::new("date", DataType::Date),
+            Field::new("channel", DataType::Int),
+            Field::new("data", DataType::Raster),
+        ]);
+        let t = TableDef::new("raster", schema, Decluster::RoundRobin).with_tile_bytes(1024);
+        let world =
+            Rect::from_corners(Point::new(-180.0, -90.0), Point::new(180.0, 90.0)).unwrap();
+        let tuples: Vec<Tuple> = (0..4)
+            .map(|i| {
+                let mut r = Raster::new(64, 32, BitDepth::Sixteen, world).unwrap();
+                r.set_pixel(1, 1, 1000 + i).unwrap();
+                Tuple::new(vec![
+                    Value::Date(Date::from_ymd(1988, 1, 1 + i)),
+                    Value::Int(5),
+                    Value::Raster(RasterValue::Mem(std::sync::Arc::new(r))),
+                ])
+            })
+            .collect();
+        t.load(&c, tuples).unwrap();
+        // Every stored tuple now holds a Stored raster whose tiles live on
+        // the tuple's node.
+        for node in 0..2 {
+            for tup in t.fragment_tuples(&c, node).unwrap() {
+                match tup.get(2).unwrap() {
+                    Value::Raster(RasterValue::Stored(sr)) => {
+                        assert!(sr.tiles.iter().all(|tr| tr.node as usize == node));
+                        let back = raster_store::fetch_whole(&c, node, sr).unwrap();
+                        assert_eq!(back.width(), 64);
+                    }
+                    other => panic!("expected stored raster, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn raster_date_pixel_roundtrip() {
+        use paradise_array::{BitDepth, Raster};
+        let c = cluster(1, "t7");
+        let schema = Schema::new(vec![
+            Field::new("date", DataType::Date),
+            Field::new("data", DataType::Raster),
+        ]);
+        let t = TableDef::new("raster", schema, Decluster::RoundRobin);
+        let world =
+            Rect::from_corners(Point::new(-180.0, -90.0), Point::new(180.0, 90.0)).unwrap();
+        let mut r = Raster::new(16, 8, BitDepth::Sixteen, world).unwrap();
+        r.set_pixel(7, 3, 4242).unwrap();
+        t.load(
+            &c,
+            vec![Tuple::new(vec![
+                Value::Date(Date::from_ymd(1988, 4, 1)),
+                Value::Raster(RasterValue::Mem(std::sync::Arc::new(r))),
+            ])],
+        )
+        .unwrap();
+        let rows = t.fragment_tuples(&c, 0).unwrap();
+        let Value::Raster(RasterValue::Stored(sr)) = rows[0].get(1).unwrap() else {
+            panic!("not stored")
+        };
+        let back = raster_store::fetch_whole(&c, 0, sr).unwrap();
+        assert_eq!(back.pixel(7, 3).unwrap(), 4242);
+    }
+}

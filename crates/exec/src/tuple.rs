@@ -1,0 +1,102 @@
+//! Tuples: ordered lists of values with a self-describing byte encoding.
+
+use crate::value::Value;
+use crate::{ExecError, Result};
+
+/// A tuple of attribute values.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Tuple {
+    /// The values, positionally matching the table schema.
+    pub values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Creates a tuple.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple { values }
+    }
+
+    /// Value at column `i`.
+    pub fn get(&self, i: usize) -> Result<&Value> {
+        self.values
+            .get(i)
+            .ok_or_else(|| ExecError::NotFound(format!("column index {i}")))
+    }
+
+    /// Serializes the tuple (column count + tagged values).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.values.len() * 12);
+        out.extend_from_slice(&(self.values.len() as u16).to_le_bytes());
+        for v in &self.values {
+            v.encode(&mut out);
+        }
+        out
+    }
+
+    /// Deserializes a tuple encoded by [`Tuple::encode`].
+    pub fn decode(buf: &[u8]) -> Result<Tuple> {
+        if buf.len() < 2 {
+            return Err(ExecError::Codec("truncated tuple"));
+        }
+        let n = u16::from_le_bytes(buf[0..2].try_into().unwrap()) as usize;
+        let mut pos = 2;
+        let mut values = Vec::with_capacity(n);
+        for _ in 0..n {
+            values.push(Value::decode(buf, &mut pos)?);
+        }
+        Ok(Tuple { values })
+    }
+
+    /// Network cost of shipping the tuple (large attributes count as
+    /// references, §2.5.2).
+    pub fn wire_size(&self) -> usize {
+        2 + self.values.iter().map(|v| v.wire_size()).sum::<usize>()
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple { values }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Date;
+    use paradise_geom::{Point, Shape};
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let t = Tuple::new(vec![
+            Value::Str("WI-001".into()),
+            Value::Int(5),
+            Value::Shape(Shape::Point(Point::new(3.0, 4.0))),
+            Value::Date(Date::from_ymd(1988, 4, 1)),
+            Value::Null,
+        ]);
+        let bytes = t.encode();
+        assert_eq!(Tuple::decode(&bytes).unwrap(), t);
+    }
+
+    #[test]
+    fn empty_tuple() {
+        let t = Tuple::new(vec![]);
+        assert_eq!(Tuple::decode(&t.encode()).unwrap(), t);
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let t = Tuple::new(vec![Value::Int(1), Value::Int(2)]);
+        let bytes = t.encode();
+        assert!(Tuple::decode(&bytes[..bytes.len() - 1]).is_err());
+        assert!(Tuple::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn get_out_of_range() {
+        let t = Tuple::new(vec![Value::Int(1)]);
+        assert!(t.get(0).is_ok());
+        assert!(t.get(1).is_err());
+    }
+}

@@ -1,0 +1,9 @@
+//! Computational-geometry primitives shared by the spatial ADTs.
+//!
+//! The algorithms here follow standard references (Preparata & Shamos,
+//! *Computational Geometry*, which the paper cites as \[Prep88\]):
+//! orientation-based segment intersection, Sutherland–Hodgman clipping,
+//! and point/segment distance kernels.
+
+pub mod clip;
+pub mod segment;

@@ -1,0 +1,243 @@
+//! Line segments and robust-enough intersection / distance kernels.
+
+use crate::point::Point;
+use crate::rect::Rect;
+use crate::EPSILON;
+
+/// A directed line segment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Start point.
+    pub a: Point,
+    /// End point.
+    pub b: Point,
+}
+
+/// Orientation of the ordered triple (p, q, r).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Orientation {
+    /// Counter-clockwise turn.
+    Ccw,
+    /// Clockwise turn.
+    Cw,
+    /// Collinear within [`EPSILON`] tolerance.
+    Collinear,
+}
+
+/// Classifies the turn made at `q` when walking p → q → r.
+pub fn orientation(p: &Point, q: &Point, r: &Point) -> Orientation {
+    let v = (q.x - p.x) * (r.y - p.y) - (q.y - p.y) * (r.x - p.x);
+    if v > EPSILON {
+        Orientation::Ccw
+    } else if v < -EPSILON {
+        Orientation::Cw
+    } else {
+        Orientation::Collinear
+    }
+}
+
+impl Segment {
+    /// Creates a segment.
+    #[inline]
+    pub const fn new(a: Point, b: Point) -> Self {
+        Segment { a, b }
+    }
+
+    /// Length of the segment.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        self.a.distance(&self.b)
+    }
+
+    /// Tight bounding box.
+    pub fn bbox(&self) -> Rect {
+        Rect::from_corners(self.a, self.b).expect("finite corners")
+    }
+
+    /// Minimum distance from `p` to the segment.
+    pub fn distance_to_point(&self, p: &Point) -> f64 {
+        self.closest_point_to(p).distance(p)
+    }
+
+    /// The point on the segment closest to `p`.
+    pub fn closest_point_to(&self, p: &Point) -> Point {
+        let dx = self.b.x - self.a.x;
+        let dy = self.b.y - self.a.y;
+        let len_sq = dx * dx + dy * dy;
+        if len_sq == 0.0 {
+            return self.a;
+        }
+        let t = (((p.x - self.a.x) * dx + (p.y - self.a.y) * dy) / len_sq).clamp(0.0, 1.0);
+        Point::new(self.a.x + t * dx, self.a.y + t * dy)
+    }
+
+    /// Minimum distance between two segments (0 if they intersect).
+    pub fn distance_to_segment(&self, other: &Segment) -> f64 {
+        if segments_intersect(self, other) {
+            return 0.0;
+        }
+        self.distance_to_point(&other.a)
+            .min(self.distance_to_point(&other.b))
+            .min(other.distance_to_point(&self.a))
+            .min(other.distance_to_point(&self.b))
+    }
+}
+
+/// True when `p` lies on segment `s` (assuming the three points are
+/// collinear): the on-box test of the classic intersection routine.
+fn on_segment(s: &Segment, p: &Point) -> bool {
+    p.x >= s.a.x.min(s.b.x) - EPSILON
+        && p.x <= s.a.x.max(s.b.x) + EPSILON
+        && p.y >= s.a.y.min(s.b.y) - EPSILON
+        && p.y <= s.a.y.max(s.b.y) + EPSILON
+}
+
+/// Closed-set segment intersection: shared endpoints, T-junctions and
+/// collinear overlaps all count as intersecting.
+pub fn segments_intersect(s1: &Segment, s2: &Segment) -> bool {
+    let o1 = orientation(&s1.a, &s1.b, &s2.a);
+    let o2 = orientation(&s1.a, &s1.b, &s2.b);
+    let o3 = orientation(&s2.a, &s2.b, &s1.a);
+    let o4 = orientation(&s2.a, &s2.b, &s1.b);
+
+    if o1 != o2 && o3 != o4 && o1 != Orientation::Collinear && o2 != Orientation::Collinear {
+        return true;
+    }
+    // General case with collinear endpoints or fully collinear overlap.
+    (o1 == Orientation::Collinear && on_segment(s1, &s2.a))
+        || (o2 == Orientation::Collinear && on_segment(s1, &s2.b))
+        || (o3 == Orientation::Collinear && on_segment(s2, &s1.a))
+        || (o4 == Orientation::Collinear && on_segment(s2, &s1.b))
+        || (o1 != o2 && o3 != o4)
+}
+
+/// The intersection point of two properly-crossing segments, if any.
+/// Collinear overlaps return `None` (no unique point).
+pub fn intersection_point(s1: &Segment, s2: &Segment) -> Option<Point> {
+    let d1x = s1.b.x - s1.a.x;
+    let d1y = s1.b.y - s1.a.y;
+    let d2x = s2.b.x - s2.a.x;
+    let d2y = s2.b.y - s2.a.y;
+    let denom = d1x * d2y - d1y * d2x;
+    if denom.abs() < EPSILON {
+        return None; // parallel or collinear
+    }
+    let t = ((s2.a.x - s1.a.x) * d2y - (s2.a.y - s1.a.y) * d2x) / denom;
+    let u = ((s2.a.x - s1.a.x) * d1y - (s2.a.y - s1.a.y) * d1x) / denom;
+    if (-EPSILON..=1.0 + EPSILON).contains(&t) && (-EPSILON..=1.0 + EPSILON).contains(&u) {
+        Some(Point::new(s1.a.x + t * d1x, s1.a.y + t * d1y))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
+        Segment::new(Point::new(ax, ay), Point::new(bx, by))
+    }
+
+    #[test]
+    fn orientation_basic() {
+        let p = Point::new(0.0, 0.0);
+        let q = Point::new(1.0, 0.0);
+        assert_eq!(orientation(&p, &q, &Point::new(1.0, 1.0)), Orientation::Ccw);
+        assert_eq!(orientation(&p, &q, &Point::new(1.0, -1.0)), Orientation::Cw);
+        assert_eq!(
+            orientation(&p, &q, &Point::new(2.0, 0.0)),
+            Orientation::Collinear
+        );
+    }
+
+    #[test]
+    fn proper_crossing() {
+        assert!(segments_intersect(
+            &seg(0.0, 0.0, 2.0, 2.0),
+            &seg(0.0, 2.0, 2.0, 0.0)
+        ));
+    }
+
+    #[test]
+    fn disjoint_segments() {
+        assert!(!segments_intersect(
+            &seg(0.0, 0.0, 1.0, 0.0),
+            &seg(0.0, 1.0, 1.0, 1.0)
+        ));
+    }
+
+    #[test]
+    fn shared_endpoint_intersects() {
+        assert!(segments_intersect(
+            &seg(0.0, 0.0, 1.0, 1.0),
+            &seg(1.0, 1.0, 2.0, 0.0)
+        ));
+    }
+
+    #[test]
+    fn t_junction_intersects() {
+        assert!(segments_intersect(
+            &seg(0.0, 0.0, 2.0, 0.0),
+            &seg(1.0, -1.0, 1.0, 0.0)
+        ));
+    }
+
+    #[test]
+    fn collinear_overlap_intersects() {
+        assert!(segments_intersect(
+            &seg(0.0, 0.0, 2.0, 0.0),
+            &seg(1.0, 0.0, 3.0, 0.0)
+        ));
+    }
+
+    #[test]
+    fn collinear_disjoint_does_not() {
+        assert!(!segments_intersect(
+            &seg(0.0, 0.0, 1.0, 0.0),
+            &seg(2.0, 0.0, 3.0, 0.0)
+        ));
+    }
+
+    #[test]
+    fn near_miss_does_not_intersect() {
+        assert!(!segments_intersect(
+            &seg(0.0, 0.0, 1.0, 0.0),
+            &seg(0.5, 0.001, 1.5, 1.0)
+        ));
+    }
+
+    #[test]
+    fn intersection_point_of_cross() {
+        let p = intersection_point(&seg(0.0, 0.0, 2.0, 2.0), &seg(0.0, 2.0, 2.0, 0.0)).unwrap();
+        assert!((p.x - 1.0).abs() < 1e-12);
+        assert!((p.y - 1.0).abs() < 1e-12);
+        assert_eq!(
+            intersection_point(&seg(0.0, 0.0, 1.0, 0.0), &seg(0.0, 1.0, 1.0, 1.0)),
+            None
+        );
+    }
+
+    #[test]
+    fn point_distance_clamps_to_endpoints() {
+        let s = seg(0.0, 0.0, 10.0, 0.0);
+        assert_eq!(s.distance_to_point(&Point::new(5.0, 2.0)), 2.0);
+        assert_eq!(s.distance_to_point(&Point::new(-3.0, 4.0)), 5.0);
+        assert_eq!(s.distance_to_point(&Point::new(13.0, 4.0)), 5.0);
+    }
+
+    #[test]
+    fn zero_length_segment_distance() {
+        let s = seg(1.0, 1.0, 1.0, 1.0);
+        assert_eq!(s.distance_to_point(&Point::new(4.0, 5.0)), 5.0);
+    }
+
+    #[test]
+    fn segment_segment_distance() {
+        let a = seg(0.0, 0.0, 1.0, 0.0);
+        let b = seg(0.0, 2.0, 1.0, 2.0);
+        assert_eq!(a.distance_to_segment(&b), 2.0);
+        let crossing = seg(0.5, -1.0, 0.5, 1.0);
+        assert_eq!(a.distance_to_segment(&crossing), 0.0);
+    }
+}

@@ -1,0 +1,187 @@
+//! The `circle` spatial ADT.
+
+use crate::point::Point;
+use crate::rect::Rect;
+use crate::{GeomError, Result};
+
+/// A circle, used by Paradise for radius ("within distance") selections and
+/// as the expanding probe region of the `closest` spatial aggregate
+/// (paper §2.7.3): the system starts with a tiny circle and doubles its area
+/// until a candidate is found.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Circle {
+    /// Center of the circle.
+    pub center: Point,
+    /// Radius (non-negative, finite).
+    pub radius: f64,
+}
+
+impl Circle {
+    /// Creates a circle; rejects negative, NaN or infinite radii.
+    pub fn new(center: Point, radius: f64) -> Result<Self> {
+        crate::check_finite(&[center])?;
+        if !radius.is_finite() || radius < 0.0 {
+            return Err(GeomError::BadRadius(radius));
+        }
+        Ok(Circle { center, radius })
+    }
+
+    /// Area of the circle.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        std::f64::consts::PI * self.radius * self.radius
+    }
+
+    /// Tight bounding box.
+    pub fn bbox(&self) -> Rect {
+        Rect::new(
+            self.center.offset(-self.radius, -self.radius),
+            self.center.offset(self.radius, self.radius),
+        )
+        .expect("circle bbox is never inverted")
+    }
+
+    /// True if `p` lies inside or on the circle.
+    #[inline]
+    pub fn contains_point(&self, p: &Point) -> bool {
+        self.center.distance_sq(p) <= self.radius * self.radius
+    }
+
+    /// True if the whole rectangle lies inside the circle (all four corners
+    /// are within the radius — sufficient and necessary for a convex region).
+    pub fn contains_rect(&self, r: &Rect) -> bool {
+        r.corners().iter().all(|c| self.contains_point(c))
+    }
+
+    /// True if the circle and rectangle share any point.
+    pub fn intersects_rect(&self, r: &Rect) -> bool {
+        r.distance_to_point(&self.center) <= self.radius
+    }
+
+    /// True if two circles share any point.
+    pub fn intersects_circle(&self, other: &Circle) -> bool {
+        let rr = self.radius + other.radius;
+        self.center.distance_sq(&other.center) <= rr * rr
+    }
+
+    /// The circle with the same center whose **area** is `factor` times
+    /// larger. The closest-join operator uses `scale_area(2.0)` to double the
+    /// probe area each round, exactly as described in paper §3.1.2.
+    pub fn scale_area(&self, factor: f64) -> Circle {
+        Circle {
+            center: self.center,
+            radius: self.radius * factor.sqrt(),
+        }
+    }
+
+    /// The largest circle centred at `p` completely contained in `rect`,
+    /// i.e. radius = distance from `p` to the nearest rectangle side.
+    ///
+    /// This is the test of the **spatial semi-join** (paper §3.1.2): if any
+    /// drainage feature falls inside this circle, the closest feature is
+    /// guaranteed to be local to the node owning the tile, so the city tuple
+    /// need not be broadcast. Returns `None` when `p` is outside `rect`.
+    pub fn largest_inscribed(p: Point, rect: &Rect) -> Option<Circle> {
+        if !rect.contains_point(&p) {
+            return None;
+        }
+        let r = (p.x - rect.lo.x)
+            .min(rect.hi.x - p.x)
+            .min(p.y - rect.lo.y)
+            .min(rect.hi.y - p.y);
+        Some(Circle { center: p, radius: r })
+    }
+}
+
+impl std::fmt::Display for Circle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Circle({}, r={})", self.center, self.radius)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(x: f64, y: f64, r: f64) -> Circle {
+        Circle::new(Point::new(x, y), r).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_radius() {
+        assert!(matches!(
+            Circle::new(Point::new(0.0, 0.0), -1.0),
+            Err(GeomError::BadRadius(_))
+        ));
+        assert!(matches!(
+            Circle::new(Point::new(0.0, 0.0), f64::NAN),
+            Err(GeomError::BadRadius(_))
+        ));
+    }
+
+    #[test]
+    fn contains_point_boundary_inclusive() {
+        let circle = c(0.0, 0.0, 5.0);
+        assert!(circle.contains_point(&Point::new(3.0, 4.0)));
+        assert!(circle.contains_point(&Point::new(0.0, 0.0)));
+        assert!(!circle.contains_point(&Point::new(3.1, 4.0)));
+    }
+
+    #[test]
+    fn bbox_is_tight() {
+        let circle = c(1.0, 2.0, 3.0);
+        let b = circle.bbox();
+        assert_eq!(b.lo, Point::new(-2.0, -1.0));
+        assert_eq!(b.hi, Point::new(4.0, 5.0));
+    }
+
+    #[test]
+    fn rect_intersection() {
+        let circle = c(0.0, 0.0, 1.0);
+        let near = Rect::from_corners(Point::new(0.5, 0.5), Point::new(2.0, 2.0)).unwrap();
+        let far = Rect::from_corners(Point::new(2.0, 2.0), Point::new(3.0, 3.0)).unwrap();
+        assert!(circle.intersects_rect(&near));
+        assert!(!circle.intersects_rect(&far));
+        // Rect whose corner just grazes the circle.
+        let graze =
+            Rect::from_corners(Point::new(1.0, 0.0), Point::new(2.0, 1.0)).unwrap();
+        assert!(circle.intersects_rect(&graze));
+    }
+
+    #[test]
+    fn contains_rect_requires_all_corners() {
+        let circle = c(0.0, 0.0, 2.0);
+        let inside =
+            Rect::from_corners(Point::new(-1.0, -1.0), Point::new(1.0, 1.0)).unwrap();
+        let poking =
+            Rect::from_corners(Point::new(-1.0, -1.0), Point::new(2.0, 2.0)).unwrap();
+        assert!(circle.contains_rect(&inside));
+        assert!(!circle.contains_rect(&poking));
+    }
+
+    #[test]
+    fn circle_circle() {
+        assert!(c(0.0, 0.0, 1.0).intersects_circle(&c(1.5, 0.0, 1.0)));
+        assert!(!c(0.0, 0.0, 1.0).intersects_circle(&c(3.0, 0.0, 1.0)));
+        // tangent
+        assert!(c(0.0, 0.0, 1.0).intersects_circle(&c(2.0, 0.0, 1.0)));
+    }
+
+    #[test]
+    fn scale_area_doubles_area() {
+        let circle = c(0.0, 0.0, 1.0);
+        let doubled = circle.scale_area(2.0);
+        let ratio = doubled.area() / circle.area();
+        assert!((ratio - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn largest_inscribed_circle() {
+        let rect = Rect::from_corners(Point::new(0.0, 0.0), Point::new(10.0, 4.0)).unwrap();
+        let inner = Circle::largest_inscribed(Point::new(3.0, 2.0), &rect).unwrap();
+        assert_eq!(inner.radius, 2.0); // nearest side is y = 0 or y = 4
+        let edge = Circle::largest_inscribed(Point::new(0.0, 2.0), &rect).unwrap();
+        assert_eq!(edge.radius, 0.0);
+        assert!(Circle::largest_inscribed(Point::new(-1.0, 2.0), &rect).is_none());
+    }
+}

@@ -1,0 +1,293 @@
+//! The spatial-universe grid used for declustering and PBSM.
+//!
+//! Paper §3.1.2 (Q12 description): *"The spatial region in which all the
+//! drainage features lie (the 'universe') is broken up into 10,000 tiles.
+//! The tiles are then numbered in a row-major order starting at the
+//! upper-left corner. Each tile is mapped to one of the nodes by hashing on
+//! tile number."* This module implements that decomposition, including the
+//! shape→tile mapping (with replication for shapes spanning several tiles,
+//! Figure 2.4).
+
+use crate::point::Point;
+use crate::rect::Rect;
+use crate::shape::Shape;
+use crate::{GeomError, Result};
+
+/// Identifier of one grid tile: row-major index from the **upper-left**
+/// corner, as in the paper.
+pub type TileId = u32;
+
+/// The inclusive rectangle of tile columns/rows a bounding box covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileRange {
+    /// First (leftmost) column.
+    pub col0: u32,
+    /// Last column, inclusive.
+    pub col1: u32,
+    /// First (topmost) row.
+    pub row0: u32,
+    /// Last row, inclusive.
+    pub row1: u32,
+}
+
+impl TileRange {
+    /// Number of tiles in the range.
+    pub fn len(&self) -> usize {
+        ((self.col1 - self.col0 + 1) as usize) * ((self.row1 - self.row0 + 1) as usize)
+    }
+
+    /// True when the range is a single tile (the common, non-replicated case).
+    pub fn is_single(&self) -> bool {
+        self.col0 == self.col1 && self.row0 == self.row1
+    }
+
+    /// Never empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// A regular decomposition of a rectangular universe into `cols × rows`
+/// tiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid {
+    universe: Rect,
+    cols: u32,
+    rows: u32,
+    tile_w: f64,
+    tile_h: f64,
+}
+
+impl Grid {
+    /// Creates a grid over `universe` with `cols × rows` tiles.
+    pub fn new(universe: Rect, cols: u32, rows: u32) -> Result<Self> {
+        if cols == 0 || rows == 0 {
+            return Err(GeomError::EmptyGrid);
+        }
+        Ok(Grid {
+            universe,
+            cols,
+            rows,
+            tile_w: universe.width() / cols as f64,
+            tile_h: universe.height() / rows as f64,
+        })
+    }
+
+    /// A grid of roughly `n` tiles with square-ish tiles, the paper's
+    /// "about 10,000 tiles" default.
+    pub fn with_tile_count(universe: Rect, n: u32) -> Result<Self> {
+        let n = n.max(1);
+        let aspect = if universe.height() > 0.0 {
+            universe.width() / universe.height()
+        } else {
+            1.0
+        };
+        let rows = ((n as f64 / aspect.max(1e-9)).sqrt().round() as u32).max(1);
+        let cols = n.div_ceil(rows).max(1);
+        Grid::new(universe, cols, rows)
+    }
+
+    /// The universe rectangle.
+    #[inline]
+    pub fn universe(&self) -> Rect {
+        self.universe
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Total number of tiles.
+    #[inline]
+    pub fn num_tiles(&self) -> u32 {
+        self.cols * self.rows
+    }
+
+    /// Tile id for (col, row) with row 0 at the **top**.
+    #[inline]
+    pub fn tile_id(&self, col: u32, row: u32) -> TileId {
+        debug_assert!(col < self.cols && row < self.rows);
+        row * self.cols + col
+    }
+
+    /// The column of a point, clamped into range.
+    fn col_of(&self, x: f64) -> u32 {
+        if self.tile_w <= 0.0 {
+            return 0;
+        }
+        let c = ((x - self.universe.lo.x) / self.tile_w).floor();
+        (c.max(0.0) as u32).min(self.cols - 1)
+    }
+
+    /// The row of a point, clamped into range; row 0 is the top row.
+    fn row_of(&self, y: f64) -> u32 {
+        if self.tile_h <= 0.0 {
+            return 0;
+        }
+        let r = ((self.universe.hi.y - y) / self.tile_h).floor();
+        (r.max(0.0) as u32).min(self.rows - 1)
+    }
+
+    /// Tile containing a point (points exactly on a shared boundary go to
+    /// the tile on the greater-x / lower-y side, consistently).
+    pub fn tile_of_point(&self, p: &Point) -> TileId {
+        self.tile_id(self.col_of(p.x), self.row_of(p.y))
+    }
+
+    /// Rectangle of a tile.
+    pub fn tile_rect(&self, id: TileId) -> Rect {
+        let col = id % self.cols;
+        let row = id / self.cols;
+        let x0 = self.universe.lo.x + col as f64 * self.tile_w;
+        let y1 = self.universe.hi.y - row as f64 * self.tile_h;
+        Rect::from_corners(Point::new(x0, y1 - self.tile_h), Point::new(x0 + self.tile_w, y1))
+            .expect("tile rect is valid")
+    }
+
+    /// The inclusive range of tiles a bounding box covers. Boxes outside the
+    /// universe are clamped to the border tiles (matching the paper's
+    /// universe definition: every shape lies inside it at load time, but
+    /// query constants may poke outside).
+    pub fn tiles_for_rect(&self, r: &Rect) -> TileRange {
+        TileRange {
+            col0: self.col_of(r.lo.x),
+            col1: self.col_of(r.hi.x),
+            row0: self.row_of(r.hi.y), // top edge -> smallest row
+            row1: self.row_of(r.lo.y),
+        }
+    }
+
+    /// All tile ids a bounding box covers, in row-major order. A shape whose
+    /// range has more than one tile must be **replicated** to every covering
+    /// tile during spatial declustering (Figure 2.4).
+    pub fn tile_ids_for_rect(&self, r: &Rect) -> Vec<TileId> {
+        let tr = self.tiles_for_rect(r);
+        let mut out = Vec::with_capacity(tr.len());
+        for row in tr.row0..=tr.row1 {
+            for col in tr.col0..=tr.col1 {
+                out.push(self.tile_id(col, row));
+            }
+        }
+        out
+    }
+
+    /// Tiles covered by a shape's bounding box.
+    pub fn tile_ids_for_shape(&self, s: &Shape) -> Vec<TileId> {
+        self.tile_ids_for_rect(&s.bbox())
+    }
+
+    /// The tile ids of the 8-neighbourhood of `id` (fewer at the border).
+    /// Used by the closest-search expansion of Figure 2.5.
+    pub fn neighbors(&self, id: TileId) -> Vec<TileId> {
+        let col = (id % self.cols) as i64;
+        let row = (id / self.cols) as i64;
+        let mut out = Vec::with_capacity(8);
+        for dr in -1..=1i64 {
+            for dc in -1..=1i64 {
+                if dr == 0 && dc == 0 {
+                    continue;
+                }
+                let (nc, nr) = (col + dc, row + dr);
+                if nc >= 0 && nr >= 0 && (nc as u32) < self.cols && (nr as u32) < self.rows {
+                    out.push(self.tile_id(nc as u32, nr as u32));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> Rect {
+        Rect::from_corners(Point::new(0.0, 0.0), Point::new(100.0, 100.0)).unwrap()
+    }
+
+    #[test]
+    fn tile_numbering_starts_upper_left() {
+        let g = Grid::new(world(), 10, 10).unwrap();
+        // Upper-left corner point is in tile 0.
+        assert_eq!(g.tile_of_point(&Point::new(0.5, 99.5)), 0);
+        // Lower-right corner point is in the last tile.
+        assert_eq!(g.tile_of_point(&Point::new(99.5, 0.5)), 99);
+        // One tile to the right of upper-left is tile 1 (row-major).
+        assert_eq!(g.tile_of_point(&Point::new(10.5, 99.5)), 1);
+        // One tile down is tile 10.
+        assert_eq!(g.tile_of_point(&Point::new(0.5, 89.5)), 10);
+    }
+
+    #[test]
+    fn tile_rect_roundtrip() {
+        let g = Grid::new(world(), 4, 5).unwrap();
+        for id in 0..g.num_tiles() {
+            let r = g.tile_rect(id);
+            assert_eq!(g.tile_of_point(&r.center()), id);
+        }
+    }
+
+    #[test]
+    fn rect_spanning_tiles_is_replicated() {
+        let g = Grid::new(world(), 10, 10).unwrap();
+        let r = Rect::from_corners(Point::new(5.0, 5.0), Point::new(25.0, 15.0)).unwrap();
+        let ids = g.tile_ids_for_rect(&r);
+        // spans cols 0..2 and rows 8..9 => 3 x 2 = 6 tiles
+        assert_eq!(ids.len(), 6);
+        // all returned tiles must intersect the rect
+        for id in ids {
+            assert!(g.tile_rect(id).intersects(&r));
+        }
+    }
+
+    #[test]
+    fn single_tile_shape_not_replicated() {
+        let g = Grid::new(world(), 10, 10).unwrap();
+        let r = Rect::from_corners(Point::new(11.0, 11.0), Point::new(12.0, 12.0)).unwrap();
+        let tr = g.tiles_for_rect(&r);
+        assert!(tr.is_single());
+        assert_eq!(tr.len(), 1);
+    }
+
+    #[test]
+    fn out_of_universe_clamps() {
+        let g = Grid::new(world(), 10, 10).unwrap();
+        assert_eq!(g.tile_of_point(&Point::new(-5.0, 105.0)), 0);
+        assert_eq!(g.tile_of_point(&Point::new(200.0, -50.0)), 99);
+    }
+
+    #[test]
+    fn with_tile_count_approximates_n() {
+        let g = Grid::with_tile_count(world(), 10_000).unwrap();
+        let n = g.num_tiles();
+        assert!((9_000..=11_000).contains(&n), "n = {n}");
+        // wide universe gets more columns than rows
+        let wide =
+            Rect::from_corners(Point::new(0.0, 0.0), Point::new(400.0, 100.0)).unwrap();
+        let gw = Grid::with_tile_count(wide, 100).unwrap();
+        assert!(gw.cols() > gw.rows());
+    }
+
+    #[test]
+    fn rejects_empty_grid() {
+        assert_eq!(Grid::new(world(), 0, 5), Err(GeomError::EmptyGrid));
+    }
+
+    #[test]
+    fn neighbors_interior_and_corner() {
+        let g = Grid::new(world(), 10, 10).unwrap();
+        assert_eq!(g.neighbors(55).len(), 8);
+        assert_eq!(g.neighbors(0).len(), 3);
+        assert_eq!(g.neighbors(9).len(), 3);
+        let n = g.neighbors(11);
+        assert!(n.contains(&0) && n.contains(&12) && n.contains(&22));
+    }
+}

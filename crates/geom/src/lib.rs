@@ -1,0 +1,111 @@
+//! # paradise-geom
+//!
+//! Spatial abstract data types (ADTs) and computational-geometry algorithms
+//! for the Paradise parallel geo-spatial DBMS (SIGMOD 1997).
+//!
+//! Paradise's data model (paper §2.1) provides `point`, `polygon`,
+//! `polyline`, `swiss-cheese polygon` and `circle` attribute types together
+//! with a rich set of spatial operators accessible from an extended SQL.
+//! This crate implements those types from scratch along with every geometric
+//! primitive the rest of the system needs:
+//!
+//! * predicates: `overlaps`, containment, point-in-polygon, crossing tests;
+//! * measures: length, area, perimeter, centroid, distances between any two
+//!   shape kinds;
+//! * constructions: bounding boxes, [`Point::make_box`], rectangle clipping
+//!   (Sutherland–Hodgman), largest inscribed circle (used by the spatial
+//!   semi-join of paper §3.1.2 / Figure 3.1);
+//! * the [`grid::Grid`] spatial-universe decomposition shared by spatial
+//!   declustering (§2.7.1) and the PBSM spatial join (§2.4).
+//!
+//! All coordinates are `f64` in an arbitrary planar coordinate system; the
+//! benchmark generator geo-registers everything to one world rectangle,
+//! mirroring the paper's geo-registration of AVHRR rasters and DCW vectors.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithms;
+pub mod circle;
+pub mod grid;
+pub mod point;
+pub mod polygon;
+pub mod polyline;
+pub mod rect;
+pub mod shape;
+pub mod swiss_cheese;
+
+pub use circle::Circle;
+pub use grid::{Grid, TileId, TileRange};
+pub use point::Point;
+pub use polygon::Polygon;
+pub use polyline::Polyline;
+pub use rect::Rect;
+pub use shape::Shape;
+pub use swiss_cheese::SwissCheese;
+
+/// Errors produced when constructing or operating on spatial values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GeomError {
+    /// A polygon needs at least three distinct vertices.
+    DegeneratePolygon {
+        /// Number of vertices supplied.
+        got: usize,
+    },
+    /// A polyline needs at least two vertices.
+    DegeneratePolyline {
+        /// Number of vertices supplied.
+        got: usize,
+    },
+    /// A circle radius must be non-negative and finite.
+    BadRadius(
+        /// The offending radius.
+        f64,
+    ),
+    /// A coordinate was NaN or infinite.
+    NonFiniteCoordinate,
+    /// A rectangle's low corner must not exceed its high corner.
+    InvertedRect,
+    /// A swiss-cheese hole must lie inside the shell.
+    HoleOutsideShell,
+    /// A grid must have at least one tile on each axis.
+    EmptyGrid,
+}
+
+impl std::fmt::Display for GeomError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GeomError::DegeneratePolygon { got } => {
+                write!(f, "polygon requires >= 3 vertices, got {got}")
+            }
+            GeomError::DegeneratePolyline { got } => {
+                write!(f, "polyline requires >= 2 vertices, got {got}")
+            }
+            GeomError::BadRadius(r) => write!(f, "invalid circle radius {r}"),
+            GeomError::NonFiniteCoordinate => write!(f, "coordinate is NaN or infinite"),
+            GeomError::InvertedRect => write!(f, "rectangle low corner exceeds high corner"),
+            GeomError::HoleOutsideShell => {
+                write!(f, "swiss-cheese hole lies outside its shell")
+            }
+            GeomError::EmptyGrid => write!(f, "grid must have at least 1x1 tiles"),
+        }
+    }
+}
+
+impl std::error::Error for GeomError {}
+
+/// Result alias for geometry operations.
+pub type Result<T> = std::result::Result<T, GeomError>;
+
+/// Absolute tolerance used by robust predicates when classifying
+/// nearly-collinear configurations. Coordinates in the benchmark universe
+/// are O(100), so 1e-9 is ~12 decimal digits of slack.
+pub const EPSILON: f64 = 1e-9;
+
+pub(crate) fn check_finite(points: &[Point]) -> Result<()> {
+    if points.iter().all(|p| p.x.is_finite() && p.y.is_finite()) {
+        Ok(())
+    } else {
+        Err(GeomError::NonFiniteCoordinate)
+    }
+}

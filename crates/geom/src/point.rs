@@ -1,0 +1,116 @@
+//! The `point` spatial ADT.
+
+use crate::rect::Rect;
+
+/// A point in the 2-D plane.
+///
+/// Paradise's `populatedPlaces` table stores the location of every populated
+/// place as a `Point`; the benchmark's Q8 builds a search box around a city
+/// with [`Point::make_box`] and Q11/Q12 evaluate the `closest` spatial
+/// aggregate relative to points.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// X coordinate (longitude in the benchmark's geo-registration).
+    pub x: f64,
+    /// Y coordinate (latitude in the benchmark's geo-registration).
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    #[inline]
+    pub fn distance(&self, other: &Point) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance (avoids the `sqrt` on hot comparison
+    /// paths such as R-tree nearest-neighbour pruning).
+    #[inline]
+    pub fn distance_sq(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// The square of side `len` centred on this point.
+    ///
+    /// This is the `location.makeBox(LENGTH)` method used by benchmark
+    /// query 8 ("polygons nearby any city named Louisville").
+    pub fn make_box(&self, len: f64) -> Rect {
+        let h = len.abs() / 2.0;
+        Rect::new(
+            Point::new(self.x - h, self.y - h),
+            Point::new(self.x + h, self.y + h),
+        )
+        .expect("centered box is never inverted")
+    }
+
+    /// Component-wise addition.
+    #[inline]
+    pub fn offset(&self, dx: f64, dy: f64) -> Point {
+        Point::new(self.x + dx, self.y + dy)
+    }
+
+    /// Tight bounding box of the point (a degenerate rectangle).
+    #[inline]
+    pub fn bbox(&self) -> Rect {
+        Rect::new(*self, *self).expect("degenerate rect is valid")
+    }
+}
+
+impl std::fmt::Display for Point {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(a.distance_sq(&b), 25.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new(-1.5, 2.0);
+        let b = Point::new(7.25, -3.0);
+        assert_eq!(a.distance(&b), b.distance(&a));
+    }
+
+    #[test]
+    fn make_box_is_centered_square() {
+        let p = Point::new(10.0, -4.0);
+        let r = p.make_box(6.0);
+        assert_eq!(r.lo, Point::new(7.0, -7.0));
+        assert_eq!(r.hi, Point::new(13.0, -1.0));
+        assert_eq!(r.width(), r.height());
+        assert_eq!(r.center(), p);
+    }
+
+    #[test]
+    fn make_box_negative_len_treated_as_abs() {
+        let p = Point::new(0.0, 0.0);
+        assert_eq!(p.make_box(-2.0), p.make_box(2.0));
+    }
+
+    #[test]
+    fn bbox_is_degenerate() {
+        let p = Point::new(1.0, 2.0);
+        let b = p.bbox();
+        assert_eq!(b.lo, p);
+        assert_eq!(b.hi, p);
+        assert_eq!(b.area(), 0.0);
+    }
+}

@@ -1,0 +1,392 @@
+//! The `polygon` spatial ADT (simple polygon, one ring).
+
+use crate::algorithms::segment::{segments_intersect, Segment};
+use crate::point::Point;
+use crate::polyline::{rect_edges, Polyline};
+use crate::rect::Rect;
+use crate::{GeomError, Result};
+
+/// A simple polygon described by one ring of vertices.
+///
+/// The ring is stored *open* (the closing edge from last back to first vertex
+/// is implicit). Vertex order may be clockwise or counter-clockwise; measures
+/// like [`Polygon::area`] are orientation-independent.
+///
+/// The benchmark's `landCover` table stores water-body / land-use / oil-field
+/// boundaries as polygons; Q6 performs a spatial selection (`overlaps`), Q7 a
+/// combined circle + area selection, Q9/Q14 clip rasters by polygons.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polygon {
+    ring: Vec<Point>,
+    bbox: Rect,
+}
+
+impl Polygon {
+    /// Creates a polygon from at least three vertices. A closing duplicate
+    /// of the first vertex, if supplied, is dropped.
+    pub fn new(mut ring: Vec<Point>) -> Result<Self> {
+        if ring.len() >= 2 && ring.first() == ring.last() {
+            ring.pop();
+        }
+        if ring.len() < 3 {
+            return Err(GeomError::DegeneratePolygon { got: ring.len() });
+        }
+        crate::check_finite(&ring)?;
+        let bbox = Rect::hull_of(&ring).expect("non-empty");
+        Ok(Polygon { ring, bbox })
+    }
+
+    /// A rectangle as a polygon (used for the benchmark's constant clip
+    /// POLYGON, "roughly the continental United States").
+    pub fn from_rect(rect: &Rect) -> Polygon {
+        Polygon::new(rect.corners().to_vec()).expect("rect has 4 corners")
+    }
+
+    /// A regular `n`-gon inscribed in `rect` (used by the resolution-scaleup
+    /// scheme's "satellite" polygons, paper §3.1.3).
+    pub fn regular_in_rect(rect: &Rect, n: usize) -> Result<Polygon> {
+        let n = n.max(3);
+        let c = rect.center();
+        let rx = rect.width() / 2.0;
+        let ry = rect.height() / 2.0;
+        let ring = (0..n)
+            .map(|i| {
+                let t = 2.0 * std::f64::consts::PI * (i as f64) / (n as f64);
+                Point::new(c.x + rx * t.cos(), c.y + ry * t.sin())
+            })
+            .collect();
+        Polygon::new(ring)
+    }
+
+    /// The vertices of the ring (open; the closing edge is implicit).
+    #[inline]
+    pub fn ring(&self) -> &[Point] {
+        &self.ring
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_points(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Cached tight bounding box.
+    #[inline]
+    pub fn bbox(&self) -> Rect {
+        self.bbox
+    }
+
+    /// Iterator over the ring's edges, including the closing edge.
+    pub fn edges(&self) -> impl Iterator<Item = Segment> + '_ {
+        let n = self.ring.len();
+        (0..n).map(move |i| Segment::new(self.ring[i], self.ring[(i + 1) % n]))
+    }
+
+    /// Unsigned area via the shoelace formula. This is the `shape.area()`
+    /// method of benchmark Q7.
+    pub fn area(&self) -> f64 {
+        self.signed_area().abs()
+    }
+
+    /// Signed shoelace area (positive for counter-clockwise rings).
+    pub fn signed_area(&self) -> f64 {
+        let n = self.ring.len();
+        let mut acc = 0.0;
+        for i in 0..n {
+            let a = self.ring[i];
+            let b = self.ring[(i + 1) % n];
+            acc += a.x * b.y - b.x * a.y;
+        }
+        acc / 2.0
+    }
+
+    /// Perimeter of the ring.
+    pub fn perimeter(&self) -> f64 {
+        self.edges().map(|e| e.length()).sum()
+    }
+
+    /// Area centroid. Falls back to the vertex mean for zero-area rings.
+    pub fn centroid(&self) -> Point {
+        let a = self.signed_area();
+        if a.abs() < crate::EPSILON {
+            let n = self.ring.len() as f64;
+            let (sx, sy) = self
+                .ring
+                .iter()
+                .fold((0.0, 0.0), |(sx, sy), p| (sx + p.x, sy + p.y));
+            return Point::new(sx / n, sy / n);
+        }
+        let n = self.ring.len();
+        let (mut cx, mut cy) = (0.0, 0.0);
+        for i in 0..n {
+            let p = self.ring[i];
+            let q = self.ring[(i + 1) % n];
+            let w = p.x * q.y - q.x * p.y;
+            cx += (p.x + q.x) * w;
+            cy += (p.y + q.y) * w;
+        }
+        Point::new(cx / (6.0 * a), cy / (6.0 * a))
+    }
+
+    /// Point-in-polygon by the crossing-number (even–odd) rule. Boundary
+    /// points count as inside.
+    pub fn contains_point(&self, p: &Point) -> bool {
+        if !self.bbox.contains_point(p) {
+            return false;
+        }
+        // Boundary check first: the ray test is unreliable exactly on edges.
+        for e in self.edges() {
+            if e.distance_to_point(p) < crate::EPSILON {
+                return true;
+            }
+        }
+        let mut inside = false;
+        let n = self.ring.len();
+        let mut j = n - 1;
+        for i in 0..n {
+            let a = self.ring[i];
+            let b = self.ring[j];
+            if ((a.y > p.y) != (b.y > p.y))
+                && (p.x < (b.x - a.x) * (p.y - a.y) / (b.y - a.y) + a.x)
+            {
+                inside = !inside;
+            }
+            j = i;
+        }
+        inside
+    }
+
+    /// The `overlaps` predicate for polygon×polygon: true when the regions
+    /// share any point (edge crossing, containment either way, or touching).
+    pub fn overlaps(&self, other: &Polygon) -> bool {
+        if !self.bbox.intersects(&other.bbox) {
+            return false;
+        }
+        for a in self.edges() {
+            let ab = a.bbox();
+            if !ab.intersects(&other.bbox) {
+                continue;
+            }
+            for b in other.edges() {
+                if ab.intersects(&b.bbox()) && segments_intersect(&a, &b) {
+                    return true;
+                }
+            }
+        }
+        // No edge crossings: one may contain the other entirely.
+        self.contains_point(&other.ring[0]) || other.contains_point(&self.ring[0])
+    }
+
+    /// The `overlaps` predicate for polygon×rectangle.
+    pub fn overlaps_rect(&self, rect: &Rect) -> bool {
+        if !self.bbox.intersects(rect) {
+            return false;
+        }
+        if self.ring.iter().any(|p| rect.contains_point(p)) {
+            return true;
+        }
+        if self.contains_point(&rect.lo) {
+            return true;
+        }
+        let edges = rect_edges(rect);
+        self.edges()
+            .any(|s| edges.iter().any(|e| segments_intersect(&s, e)))
+    }
+
+    /// The `overlaps` predicate for polygon×polyline: any chain segment
+    /// crossing the boundary, or the chain lying wholly inside.
+    pub fn overlaps_polyline(&self, line: &Polyline) -> bool {
+        if !self.bbox.intersects(&line.bbox()) {
+            return false;
+        }
+        for s in line.segments() {
+            let sb = s.bbox();
+            if !sb.intersects(&self.bbox) {
+                continue;
+            }
+            for e in self.edges() {
+                if sb.intersects(&e.bbox()) && segments_intersect(&s, &e) {
+                    return true;
+                }
+            }
+        }
+        self.contains_point(&line.points()[0])
+    }
+
+    /// True if the whole polygon lies inside `circle` (benchmark Q7's
+    /// `shape < Circle(POINT, RADIUS)` containment predicate).
+    pub fn within_circle(&self, circle: &crate::circle::Circle) -> bool {
+        self.ring.iter().all(|p| circle.contains_point(p))
+    }
+
+    /// Minimum distance from `p` to the polygon (0 if `p` is inside).
+    pub fn distance_to_point(&self, p: &Point) -> f64 {
+        if self.contains_point(p) {
+            return 0.0;
+        }
+        self.boundary_distance(p)
+    }
+
+    /// Minimum distance from `p` to the ring *boundary*, regardless of
+    /// whether `p` is inside. Swiss-cheese hole tests need this distinction.
+    pub fn boundary_distance(&self, p: &Point) -> f64 {
+        self.edges()
+            .map(|e| e.distance_to_point(p))
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circle::Circle;
+
+    fn poly(pts: &[(f64, f64)]) -> Polygon {
+        Polygon::new(pts.iter().map(|&(x, y)| Point::new(x, y)).collect()).unwrap()
+    }
+
+    fn unit_square() -> Polygon {
+        poly(&[(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)])
+    }
+
+    #[test]
+    fn rejects_degenerate() {
+        assert_eq!(
+            Polygon::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)]),
+            Err(GeomError::DegeneratePolygon { got: 2 })
+        );
+    }
+
+    #[test]
+    fn closing_vertex_dropped() {
+        let closed = poly(&[(0.0, 0.0), (1.0, 0.0), (0.0, 1.0), (0.0, 0.0)]);
+        assert_eq!(closed.num_points(), 3);
+    }
+
+    #[test]
+    fn area_orientation_independent() {
+        let ccw = unit_square();
+        let cw = poly(&[(0.0, 0.0), (0.0, 1.0), (1.0, 1.0), (1.0, 0.0)]);
+        assert_eq!(ccw.area(), 1.0);
+        assert_eq!(cw.area(), 1.0);
+        assert!(ccw.signed_area() > 0.0);
+        assert!(cw.signed_area() < 0.0);
+    }
+
+    #[test]
+    fn perimeter_and_centroid() {
+        let sq = unit_square();
+        assert_eq!(sq.perimeter(), 4.0);
+        assert_eq!(sq.centroid(), Point::new(0.5, 0.5));
+    }
+
+    #[test]
+    fn point_in_polygon() {
+        let sq = unit_square();
+        assert!(sq.contains_point(&Point::new(0.5, 0.5)));
+        assert!(!sq.contains_point(&Point::new(1.5, 0.5)));
+        // boundary and vertex are inside
+        assert!(sq.contains_point(&Point::new(1.0, 0.5)));
+        assert!(sq.contains_point(&Point::new(0.0, 0.0)));
+    }
+
+    #[test]
+    fn point_in_concave_polygon() {
+        // L-shape: the notch must be outside.
+        let l = poly(&[
+            (0.0, 0.0),
+            (4.0, 0.0),
+            (4.0, 4.0),
+            (3.0, 4.0),
+            (3.0, 1.0),
+            (0.0, 1.0),
+        ]);
+        assert!(l.contains_point(&Point::new(2.0, 0.5)));
+        assert!(l.contains_point(&Point::new(3.5, 3.0)));
+        assert!(!l.contains_point(&Point::new(1.0, 2.0))); // in the notch
+    }
+
+    #[test]
+    fn overlap_by_edge_crossing() {
+        let a = unit_square();
+        let b = poly(&[(0.5, 0.5), (2.0, 0.5), (2.0, 2.0), (0.5, 2.0)]);
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+    }
+
+    #[test]
+    fn overlap_by_containment() {
+        let outer = poly(&[(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)]);
+        let inner = poly(&[(4.0, 4.0), (5.0, 4.0), (5.0, 5.0), (4.0, 5.0)]);
+        assert!(outer.overlaps(&inner));
+        assert!(inner.overlaps(&outer));
+    }
+
+    #[test]
+    fn disjoint_polygons() {
+        let a = unit_square();
+        let b = poly(&[(5.0, 5.0), (6.0, 5.0), (6.0, 6.0), (5.0, 6.0)]);
+        assert!(!a.overlaps(&b));
+    }
+
+    #[test]
+    fn overlaps_rect_cases() {
+        let sq = unit_square();
+        let crossing =
+            Rect::from_corners(Point::new(0.5, -1.0), Point::new(0.7, 2.0)).unwrap();
+        assert!(sq.overlaps_rect(&crossing));
+        let containing =
+            Rect::from_corners(Point::new(-1.0, -1.0), Point::new(2.0, 2.0)).unwrap();
+        assert!(sq.overlaps_rect(&containing));
+        let contained =
+            Rect::from_corners(Point::new(0.4, 0.4), Point::new(0.6, 0.6)).unwrap();
+        assert!(sq.overlaps_rect(&contained));
+        let far = Rect::from_corners(Point::new(5.0, 5.0), Point::new(6.0, 6.0)).unwrap();
+        assert!(!sq.overlaps_rect(&far));
+    }
+
+    #[test]
+    fn overlaps_polyline_cases() {
+        let sq = unit_square();
+        let through = Polyline::new(vec![Point::new(-1.0, 0.5), Point::new(2.0, 0.5)]).unwrap();
+        assert!(sq.overlaps_polyline(&through));
+        let inside = Polyline::new(vec![Point::new(0.2, 0.2), Point::new(0.8, 0.8)]).unwrap();
+        assert!(sq.overlaps_polyline(&inside));
+        let outside = Polyline::new(vec![Point::new(2.0, 2.0), Point::new(3.0, 3.0)]).unwrap();
+        assert!(!sq.overlaps_polyline(&outside));
+    }
+
+    #[test]
+    fn within_circle() {
+        let sq = unit_square();
+        let big = Circle::new(Point::new(0.5, 0.5), 1.0).unwrap();
+        let small = Circle::new(Point::new(0.5, 0.5), 0.5).unwrap();
+        assert!(sq.within_circle(&big));
+        assert!(!sq.within_circle(&small)); // corners poke out
+    }
+
+    #[test]
+    fn distance_to_point() {
+        let sq = unit_square();
+        assert_eq!(sq.distance_to_point(&Point::new(0.5, 0.5)), 0.0);
+        assert_eq!(sq.distance_to_point(&Point::new(4.0, 5.0)), 5.0);
+    }
+
+    #[test]
+    fn regular_polygon_inscribed() {
+        let rect = Rect::from_corners(Point::new(0.0, 0.0), Point::new(2.0, 2.0)).unwrap();
+        let hex = Polygon::regular_in_rect(&rect, 6).unwrap();
+        assert_eq!(hex.num_points(), 6);
+        assert!(rect.expand(crate::EPSILON).contains_rect(&hex.bbox()));
+        // area of a regular hexagon inscribed in unit circle ~ 2.598
+        assert!((hex.area() - 2.598).abs() < 0.01);
+    }
+
+    #[test]
+    fn from_rect_roundtrip() {
+        let rect = Rect::from_corners(Point::new(1.0, 2.0), Point::new(3.0, 5.0)).unwrap();
+        let p = Polygon::from_rect(&rect);
+        assert_eq!(p.area(), rect.area());
+        assert_eq!(p.bbox(), rect);
+    }
+}

@@ -1,0 +1,264 @@
+//! A dynamic union over all spatial ADTs.
+
+use crate::circle::Circle;
+use crate::point::Point;
+use crate::polygon::Polygon;
+use crate::polyline::Polyline;
+use crate::rect::Rect;
+use crate::swiss_cheese::SwissCheese;
+
+/// Any Paradise spatial value. Tuples carry spatial attributes as `Shape`s;
+/// operators dispatch on the concrete kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Shape {
+    /// A point.
+    Point(Point),
+    /// An open polyline.
+    Polyline(Polyline),
+    /// A simple polygon.
+    Polygon(Polygon),
+    /// A polygon with holes.
+    SwissCheese(SwissCheese),
+    /// A circle.
+    Circle(Circle),
+    /// An axis-aligned rectangle.
+    Rect(Rect),
+}
+
+impl Shape {
+    /// Bounding box of the shape. Declustering, R*-tree insertion and the
+    /// PBSM filter phase all operate on this box.
+    pub fn bbox(&self) -> Rect {
+        match self {
+            Shape::Point(p) => p.bbox(),
+            Shape::Polyline(l) => l.bbox(),
+            Shape::Polygon(p) => p.bbox(),
+            Shape::SwissCheese(s) => s.bbox(),
+            Shape::Circle(c) => c.bbox(),
+            Shape::Rect(r) => *r,
+        }
+    }
+
+    /// Number of defining points (used by the scaleup bookkeeping and as a
+    /// proxy for CPU cost of refinement, which the paper's Q11 discussion
+    /// leans on).
+    pub fn num_points(&self) -> usize {
+        match self {
+            Shape::Point(_) => 1,
+            Shape::Polyline(l) => l.num_points(),
+            Shape::Polygon(p) => p.num_points(),
+            Shape::SwissCheese(s) => s.num_points(),
+            Shape::Circle(_) => 1,
+            Shape::Rect(_) => 2,
+        }
+    }
+
+    /// Exact `overlaps` predicate between any two shapes (closed-region
+    /// semantics). This is the refinement step run after the bounding-box
+    /// filter; callers should have already checked `bbox` intersection.
+    pub fn overlaps(&self, other: &Shape) -> bool {
+        use Shape::*;
+        if !self.bbox().intersects(&other.bbox()) {
+            return false;
+        }
+        match (self, other) {
+            (Point(a), Point(b)) => a.distance_sq(b) < crate::EPSILON * crate::EPSILON,
+            (Point(p), Polyline(l)) | (Polyline(l), Point(p)) => {
+                l.distance_to_point(p) < crate::EPSILON
+            }
+            (Point(p), Polygon(g)) | (Polygon(g), Point(p)) => g.contains_point(p),
+            (Point(p), SwissCheese(s)) | (SwissCheese(s), Point(p)) => s.contains_point(p),
+            (Point(p), Circle(c)) | (Circle(c), Point(p)) => c.contains_point(p),
+            (Point(p), Rect(r)) | (Rect(r), Point(p)) => r.contains_point(p),
+
+            (Polyline(a), Polyline(b)) => a.crosses(b),
+            (Polyline(l), Polygon(g)) | (Polygon(g), Polyline(l)) => g.overlaps_polyline(l),
+            (Polyline(l), SwissCheese(s)) | (SwissCheese(s), Polyline(l)) => {
+                s.shell().overlaps_polyline(l)
+            }
+            (Polyline(l), Rect(r)) | (Rect(r), Polyline(l)) => l.intersects_rect(r),
+            (Polyline(l), Circle(c)) | (Circle(c), Polyline(l)) => {
+                l.distance_to_point(&c.center) <= c.radius
+            }
+
+            (Polygon(a), Polygon(b)) => a.overlaps(b),
+            (Polygon(g), SwissCheese(s)) | (SwissCheese(s), Polygon(g)) => s.overlaps(g),
+            (Polygon(g), Rect(r)) | (Rect(r), Polygon(g)) => g.overlaps_rect(r),
+            (Polygon(g), Circle(c)) | (Circle(c), Polygon(g)) => {
+                g.distance_to_point(&c.center) <= c.radius
+            }
+
+            (SwissCheese(a), SwissCheese(b)) => a.overlaps(b.shell()),
+            (SwissCheese(s), Rect(r)) | (Rect(r), SwissCheese(s)) => {
+                s.overlaps(&crate::polygon::Polygon::from_rect(r))
+            }
+            (SwissCheese(s), Circle(c)) | (Circle(c), SwissCheese(s)) => {
+                s.shell().distance_to_point(&c.center) <= c.radius
+            }
+
+            (Circle(a), Circle(b)) => a.intersects_circle(b),
+            (Circle(c), Rect(r)) | (Rect(r), Circle(c)) => c.intersects_rect(r),
+
+            (Rect(a), Rect(b)) => a.intersects(b),
+        }
+    }
+
+    /// Distance from the shape to a point (0 if the point is on/in the
+    /// shape). This is the kernel of the `closest` spatial aggregate.
+    pub fn distance_to_point(&self, p: &Point) -> f64 {
+        match self {
+            Shape::Point(q) => q.distance(p),
+            Shape::Polyline(l) => l.distance_to_point(p),
+            Shape::Polygon(g) => g.distance_to_point(p),
+            Shape::SwissCheese(s) => {
+                if s.contains_point(p) {
+                    0.0
+                } else if s.shell().contains_point(p) {
+                    // inside a hole: distance to the hole boundary
+                    s.holes()
+                        .iter()
+                        .map(|h| h.boundary_distance(p))
+                        .fold(f64::INFINITY, f64::min)
+                } else {
+                    s.shell().distance_to_point(p)
+                }
+            }
+            Shape::Circle(c) => (c.center.distance(p) - c.radius).max(0.0),
+            Shape::Rect(r) => r.distance_to_point(p),
+        }
+    }
+
+    /// Convenience accessor for point shapes.
+    pub fn as_point(&self) -> Option<Point> {
+        match self {
+            Shape::Point(p) => Some(*p),
+            _ => None,
+        }
+    }
+
+    /// Short lowercase kind name for catalogs and error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Shape::Point(_) => "point",
+            Shape::Polyline(_) => "polyline",
+            Shape::Polygon(_) => "polygon",
+            Shape::SwissCheese(_) => "swiss_cheese",
+            Shape::Circle(_) => "circle",
+            Shape::Rect(_) => "rect",
+        }
+    }
+}
+
+impl From<Point> for Shape {
+    fn from(p: Point) -> Self {
+        Shape::Point(p)
+    }
+}
+impl From<Polyline> for Shape {
+    fn from(l: Polyline) -> Self {
+        Shape::Polyline(l)
+    }
+}
+impl From<Polygon> for Shape {
+    fn from(p: Polygon) -> Self {
+        Shape::Polygon(p)
+    }
+}
+impl From<SwissCheese> for Shape {
+    fn from(s: SwissCheese) -> Self {
+        Shape::SwissCheese(s)
+    }
+}
+impl From<Circle> for Shape {
+    fn from(c: Circle) -> Self {
+        Shape::Circle(c)
+    }
+}
+impl From<Rect> for Shape {
+    fn from(r: Rect) -> Self {
+        Shape::Rect(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sq(x0: f64, y0: f64, x1: f64, y1: f64) -> Polygon {
+        Polygon::from_rect(&Rect::from_corners(Point::new(x0, y0), Point::new(x1, y1)).unwrap())
+    }
+
+    #[test]
+    fn overlaps_is_symmetric_across_kinds() {
+        let cases: Vec<(Shape, Shape, bool)> = vec![
+            (
+                Shape::Point(Point::new(0.5, 0.5)),
+                Shape::Polygon(sq(0.0, 0.0, 1.0, 1.0)),
+                true,
+            ),
+            (
+                Shape::Polyline(
+                    Polyline::new(vec![Point::new(-1.0, 0.5), Point::new(2.0, 0.5)]).unwrap(),
+                ),
+                Shape::Polygon(sq(0.0, 0.0, 1.0, 1.0)),
+                true,
+            ),
+            (
+                Shape::Circle(Circle::new(Point::new(3.0, 0.5), 1.0).unwrap()),
+                Shape::Polygon(sq(0.0, 0.0, 1.0, 1.0)),
+                false,
+            ),
+            (
+                Shape::Rect(Rect::from_corners(Point::new(0.0, 0.0), Point::new(1.0, 1.0)).unwrap()),
+                Shape::Polygon(sq(0.5, 0.5, 2.0, 2.0)),
+                true,
+            ),
+        ];
+        for (a, b, want) in cases {
+            assert_eq!(a.overlaps(&b), want, "{a:?} vs {b:?}");
+            assert_eq!(b.overlaps(&a), want, "symmetry {a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn circle_polygon_uses_true_distance_not_bbox() {
+        // Circle near the corner of a square: bboxes intersect but the
+        // true region distance exceeds the radius.
+        let g = sq(0.0, 0.0, 1.0, 1.0);
+        let c = Circle::new(Point::new(1.7, 1.7), 0.9).unwrap();
+        assert!(c.bbox().intersects(&g.bbox()));
+        assert!(!Shape::Circle(c).overlaps(&Shape::Polygon(g)));
+    }
+
+    #[test]
+    fn distance_to_point_kinds() {
+        assert_eq!(
+            Shape::Point(Point::new(3.0, 4.0)).distance_to_point(&Point::new(0.0, 0.0)),
+            5.0
+        );
+        assert_eq!(
+            Shape::Circle(Circle::new(Point::new(0.0, 0.0), 1.0).unwrap())
+                .distance_to_point(&Point::new(3.0, 0.0)),
+            2.0
+        );
+        assert_eq!(
+            Shape::Polygon(sq(0.0, 0.0, 1.0, 1.0)).distance_to_point(&Point::new(0.5, 0.5)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn swiss_cheese_hole_distance() {
+        let shell = sq(0.0, 0.0, 10.0, 10.0);
+        let hole = sq(4.0, 4.0, 6.0, 6.0);
+        let s = SwissCheese::new(shell, vec![hole]).unwrap();
+        let d = Shape::SwissCheese(s).distance_to_point(&Point::new(5.0, 5.0));
+        assert_eq!(d, 1.0); // center of the 2x2 hole
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(Shape::Point(Point::new(0.0, 0.0)).kind(), "point");
+        assert_eq!(Shape::Polygon(sq(0.0, 0.0, 1.0, 1.0)).kind(), "polygon");
+    }
+}

@@ -1,0 +1,172 @@
+//! The `swiss-cheese polygon` spatial ADT: a polygon with holes.
+
+use crate::point::Point;
+use crate::polygon::Polygon;
+use crate::rect::Rect;
+use crate::{GeomError, Result};
+
+/// A polygon with zero or more holes ("swiss-cheese polygon", paper §2.1).
+///
+/// Land-cover features such as a lake with islands are naturally
+/// swiss-cheese polygons: the shell is the lake boundary, the holes are the
+/// islands. A point is *inside* the feature when it is inside the shell and
+/// outside every hole.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwissCheese {
+    shell: Polygon,
+    holes: Vec<Polygon>,
+}
+
+impl SwissCheese {
+    /// Creates a swiss-cheese polygon. Every hole's bounding box must lie
+    /// inside the shell's bounding box and the hole's first vertex inside
+    /// the shell (a cheap, practical validity check; full ring-nesting
+    /// verification is O(n²) and unnecessary for the benchmark data).
+    pub fn new(shell: Polygon, holes: Vec<Polygon>) -> Result<Self> {
+        for h in &holes {
+            if !shell.bbox().contains_rect(&h.bbox()) || !shell.contains_point(&h.ring()[0]) {
+                return Err(GeomError::HoleOutsideShell);
+            }
+        }
+        Ok(SwissCheese { shell, holes })
+    }
+
+    /// A swiss-cheese polygon with no holes.
+    pub fn solid(shell: Polygon) -> Self {
+        SwissCheese { shell, holes: Vec::new() }
+    }
+
+    /// The outer shell.
+    #[inline]
+    pub fn shell(&self) -> &Polygon {
+        &self.shell
+    }
+
+    /// The holes.
+    #[inline]
+    pub fn holes(&self) -> &[Polygon] {
+        &self.holes
+    }
+
+    /// Bounding box (the shell's).
+    #[inline]
+    pub fn bbox(&self) -> Rect {
+        self.shell.bbox()
+    }
+
+    /// Area of shell minus total hole area.
+    pub fn area(&self) -> f64 {
+        let holes: f64 = self.holes.iter().map(|h| h.area()).sum();
+        (self.shell.area() - holes).max(0.0)
+    }
+
+    /// Inside the shell and outside every hole. Hole boundaries count as
+    /// inside the feature (closed-region semantics).
+    pub fn contains_point(&self, p: &Point) -> bool {
+        if !self.shell.contains_point(p) {
+            return false;
+        }
+        !self
+            .holes
+            .iter()
+            .any(|h| h.contains_point(p) && h.boundary_distance(p) > crate::EPSILON)
+    }
+
+    /// Overlap with a plain polygon: the regions share at least one point.
+    ///
+    /// The shell overlap test is necessary; if the other polygon lies
+    /// entirely within one hole it does *not* overlap.
+    pub fn overlaps(&self, other: &Polygon) -> bool {
+        if !self.shell.overlaps(other) {
+            return false;
+        }
+        // If other's boundary crosses the shell or any hole boundary the
+        // regions definitely share points.
+        for h in &self.holes {
+            // entirely inside a hole, with no boundary crossing => disjoint
+            if hole_swallows(h, other) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Total number of vertices (shell + holes) — a proxy for storage size.
+    pub fn num_points(&self) -> usize {
+        self.shell.num_points() + self.holes.iter().map(|h| h.num_points()).sum::<usize>()
+    }
+}
+
+/// True when `poly` lies strictly inside `hole` with no boundary contact.
+fn hole_swallows(hole: &Polygon, poly: &Polygon) -> bool {
+    if !hole.bbox().contains_rect(&poly.bbox()) {
+        return false;
+    }
+    // any edge crossing means contact with the hole boundary
+    for a in poly.edges() {
+        for b in hole.edges() {
+            if crate::algorithms::segment::segments_intersect(&a, &b) {
+                return false;
+            }
+        }
+    }
+    poly.ring().iter().all(|p| hole.contains_point(p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn poly(pts: &[(f64, f64)]) -> Polygon {
+        Polygon::new(pts.iter().map(|&(x, y)| Point::new(x, y)).collect()).unwrap()
+    }
+
+    fn donut() -> SwissCheese {
+        let shell = poly(&[(0.0, 0.0), (10.0, 0.0), (10.0, 10.0), (0.0, 10.0)]);
+        let hole = poly(&[(4.0, 4.0), (6.0, 4.0), (6.0, 6.0), (4.0, 6.0)]);
+        SwissCheese::new(shell, vec![hole]).unwrap()
+    }
+
+    #[test]
+    fn area_subtracts_holes() {
+        assert_eq!(donut().area(), 96.0);
+        let solid = SwissCheese::solid(poly(&[(0.0, 0.0), (2.0, 0.0), (2.0, 2.0), (0.0, 2.0)]));
+        assert_eq!(solid.area(), 4.0);
+    }
+
+    #[test]
+    fn rejects_hole_outside_shell() {
+        let shell = poly(&[(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)]);
+        let hole = poly(&[(5.0, 5.0), (6.0, 5.0), (6.0, 6.0), (5.0, 6.0)]);
+        assert_eq!(
+            SwissCheese::new(shell, vec![hole]),
+            Err(GeomError::HoleOutsideShell)
+        );
+    }
+
+    #[test]
+    fn contains_point_respects_holes() {
+        let d = donut();
+        assert!(d.contains_point(&Point::new(1.0, 1.0)));
+        assert!(!d.contains_point(&Point::new(5.0, 5.0))); // in the hole
+        assert!(!d.contains_point(&Point::new(11.0, 5.0))); // outside shell
+        // on the hole boundary counts as inside the feature
+        assert!(d.contains_point(&Point::new(4.0, 5.0)));
+    }
+
+    #[test]
+    fn overlap_with_polygon() {
+        let d = donut();
+        let crossing = poly(&[(-1.0, 4.5), (5.0, 4.5), (5.0, 5.5), (-1.0, 5.5)]);
+        assert!(d.overlaps(&crossing));
+        let in_hole = poly(&[(4.5, 4.5), (5.5, 4.5), (5.5, 5.5), (4.5, 5.5)]);
+        assert!(!d.overlaps(&in_hole));
+        let outside = poly(&[(20.0, 20.0), (21.0, 20.0), (21.0, 21.0), (20.0, 21.0)]);
+        assert!(!d.overlaps(&outside));
+    }
+
+    #[test]
+    fn num_points_counts_everything() {
+        assert_eq!(donut().num_points(), 8);
+    }
+}

@@ -1,0 +1,272 @@
+//! Tokenizer for the extended SQL dialect.
+
+use crate::{ParseError, Result};
+
+/// One token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (stored as written; keyword matching is
+    /// case-insensitive at the parser level).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Double-quoted string literal (quotes stripped).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `;`
+    Semi,
+}
+
+/// A token plus its byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Token,
+    /// Byte offset where the token starts.
+    pub offset: usize,
+}
+
+/// Tokenizes `input`.
+pub fn lex(input: &str) -> Result<Vec<Spanned>> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            '(' => {
+                out.push(Spanned { tok: Token::LParen, offset: start });
+                i += 1;
+            }
+            ')' => {
+                out.push(Spanned { tok: Token::RParen, offset: start });
+                i += 1;
+            }
+            ',' => {
+                out.push(Spanned { tok: Token::Comma, offset: start });
+                i += 1;
+            }
+            '*' => {
+                out.push(Spanned { tok: Token::Star, offset: start });
+                i += 1;
+            }
+            ';' => {
+                out.push(Spanned { tok: Token::Semi, offset: start });
+                i += 1;
+            }
+            '=' => {
+                out.push(Spanned { tok: Token::Eq, offset: start });
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned { tok: Token::Le, offset: start });
+                    i += 2;
+                } else {
+                    out.push(Spanned { tok: Token::Lt, offset: start });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Spanned { tok: Token::Ge, offset: start });
+                    i += 2;
+                } else {
+                    out.push(Spanned { tok: Token::Gt, offset: start });
+                    i += 1;
+                }
+            }
+            '"' => {
+                let mut j = i + 1;
+                while j < bytes.len() && bytes[j] != b'"' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(ParseError {
+                        message: "unterminated string literal".into(),
+                        offset: start,
+                    });
+                }
+                out.push(Spanned {
+                    tok: Token::Str(input[i + 1..j].to_string()),
+                    offset: start,
+                });
+                i = j + 1;
+            }
+            '-' | '0'..='9' => {
+                let mut j = i;
+                if bytes[j] == b'-' {
+                    j += 1;
+                    if j >= bytes.len() || !bytes[j].is_ascii_digit() {
+                        return Err(ParseError {
+                            message: "dangling '-'".into(),
+                            offset: start,
+                        });
+                    }
+                }
+                let mut is_float = false;
+                while j < bytes.len() && (bytes[j].is_ascii_digit() || bytes[j] == b'.') {
+                    if bytes[j] == b'.' {
+                        // A dot not followed by a digit is a method call dot.
+                        if j + 1 < bytes.len() && bytes[j + 1].is_ascii_digit() {
+                            is_float = true;
+                        } else {
+                            break;
+                        }
+                    }
+                    j += 1;
+                }
+                let text = &input[i..j];
+                let tok = if is_float {
+                    Token::Float(text.parse().map_err(|_| ParseError {
+                        message: format!("bad float literal {text:?}"),
+                        offset: start,
+                    })?)
+                } else {
+                    Token::Int(text.parse().map_err(|_| ParseError {
+                        message: format!("bad int literal {text:?}"),
+                        offset: start,
+                    })?)
+                };
+                out.push(Spanned { tok, offset: start });
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                out.push(Spanned {
+                    tok: Token::Ident(input[i..j].to_string()),
+                    offset: start,
+                });
+                i = j;
+            }
+            '.' => {
+                out.push(Spanned { tok: Token::Dot, offset: start });
+                i += 1;
+            }
+            other => {
+                return Err(ParseError {
+                    message: format!("unexpected character {other:?}"),
+                    offset: start,
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Token> {
+        lex(s).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("select * from raster;"),
+            vec![
+                Token::Ident("select".into()),
+                Token::Star,
+                Token::Ident("from".into()),
+                Token::Ident("raster".into()),
+                Token::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_strings() {
+        assert_eq!(
+            toks("42 -7 3.5 -0.25 \"Phoenix\""),
+            vec![
+                Token::Int(42),
+                Token::Int(-7),
+                Token::Float(3.5),
+                Token::Float(-0.25),
+                Token::Str("Phoenix".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn method_call_dots_vs_float_dots() {
+        assert_eq!(
+            toks("raster.data.clip(5.0)"),
+            vec![
+                Token::Ident("raster".into()),
+                Token::Dot,
+                Token::Ident("data".into()),
+                Token::Dot,
+                Token::Ident("clip".into()),
+                Token::LParen,
+                Token::Float(5.0),
+                Token::RParen,
+            ]
+        );
+        // "5.clip" must lex the 5 as an int followed by a dot.
+        assert_eq!(
+            toks("5.x"),
+            vec![Token::Int(5), Token::Dot, Token::Ident("x".into())]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            toks("a <= b >= c < d > e = f"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Le,
+                Token::Ident("b".into()),
+                Token::Ge,
+                Token::Ident("c".into()),
+                Token::Lt,
+                Token::Ident("d".into()),
+                Token::Gt,
+                Token::Ident("e".into()),
+                Token::Eq,
+                Token::Ident("f".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let e = lex("select \"unterminated").unwrap_err();
+        assert_eq!(e.offset, 7);
+        let e = lex("a ? b").unwrap_err();
+        assert_eq!(e.offset, 2);
+    }
+}

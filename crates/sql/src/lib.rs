@@ -1,0 +1,42 @@
+//! # paradise-sql
+//!
+//! The extended-SQL front end of Paradise (paper §2.1): standard
+//! SELECT/FROM/WHERE/GROUP BY/ORDER BY plus the spatial extensions the
+//! benchmark queries use — ADT method calls (`raster.data.clip(POLYGON)`,
+//! `shape.area()`, `location.makeBox(L)`), spatial operators (`overlaps`,
+//! circle containment `<`), typed constructors (`Date("1988-04-01")`,
+//! `Circle(Point(x, y), r)`, `Polygon(x1, y1, …)`), and spatial aggregates
+//! (`closest(shape, point)` with GROUP BY).
+//!
+//! The crate provides the lexer, the AST, and a recursive-descent parser;
+//! plan selection and execution live in the `paradise` crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{BinOp, Expr, SelectStmt};
+pub use parser::parse_select;
+
+/// Parse errors with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset in the input where the error was detected.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Result alias for parsing.
+pub type Result<T> = std::result::Result<T, ParseError>;

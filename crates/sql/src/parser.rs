@@ -1,0 +1,321 @@
+//! Recursive-descent parser for the extended SQL dialect.
+
+use crate::ast::{BinOp, Expr, Projection, SelectStmt};
+use crate::lexer::{lex, Spanned, Token};
+use crate::{ParseError, Result};
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn offset(&self) -> usize {
+        self.toks.get(self.pos).map(|s| s.offset).unwrap_or(usize::MAX)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.toks.get(self.pos).map(|s| s.tok.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T> {
+        Err(ParseError { message: msg.into(), offset: self.offset() })
+    }
+
+    fn keyword(&mut self, kw: &str) -> bool {
+        if let Some(Token::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.keyword(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected keyword {kw:?}"))
+        }
+    }
+
+    fn expect(&mut self, tok: &Token) -> Result<()> {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected {tok:?}, found {:?}", self.peek()))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.bump() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => {
+                self.pos -= 1;
+                self.err(format!("expected identifier, found {other:?}"))
+            }
+        }
+    }
+
+    /// primary := literal | ident | ident '(' args ')' | ident '.' ident …
+    /// with trailing method calls `.name(args)`.
+    fn primary(&mut self) -> Result<Expr> {
+        let mut base = match self.bump() {
+            Some(Token::Int(v)) => Expr::Int(v),
+            Some(Token::Float(v)) => Expr::Float(v),
+            Some(Token::Str(s)) => Expr::Str(s),
+            Some(Token::LParen) => {
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                e
+            }
+            Some(Token::Ident(name)) => {
+                if self.peek() == Some(&Token::LParen) {
+                    self.pos += 1;
+                    let args = self.args()?;
+                    Expr::Call { func: name, args }
+                } else {
+                    Expr::Column { table: None, column: name }
+                }
+            }
+            other => {
+                self.pos -= 1;
+                return self.err(format!("expected expression, found {other:?}"));
+            }
+        };
+        // Dotted chain: table.column, then method calls.
+        while self.peek() == Some(&Token::Dot) {
+            self.pos += 1;
+            let name = self.ident()?;
+            if self.peek() == Some(&Token::LParen) {
+                self.pos += 1;
+                let args = self.args()?;
+                base = Expr::Method { recv: Box::new(base), name, args };
+            } else {
+                // A bare dotted name: promote Column(None, a).b to
+                // Column(Some(a), b); anything else is an error.
+                base = match base {
+                    Expr::Column { table: None, column } => {
+                        Expr::Column { table: Some(column), column: name }
+                    }
+                    _ => return self.err("unexpected '.' after expression"),
+                };
+            }
+        }
+        Ok(base)
+    }
+
+    fn args(&mut self) -> Result<Vec<Expr>> {
+        let mut args = Vec::new();
+        if self.peek() == Some(&Token::RParen) {
+            self.pos += 1;
+            return Ok(args);
+        }
+        loop {
+            args.push(self.expr()?);
+            match self.bump() {
+                Some(Token::Comma) => continue,
+                Some(Token::RParen) => return Ok(args),
+                other => {
+                    self.pos -= 1;
+                    return self.err(format!("expected ',' or ')', found {other:?}"));
+                }
+            }
+        }
+    }
+
+    /// comparison := primary [(= | < | <= | > | >= | overlaps) primary]
+    fn comparison(&mut self) -> Result<Expr> {
+        let lhs = self.primary()?;
+        let op = match self.peek() {
+            Some(Token::Eq) => BinOp::Eq,
+            Some(Token::Lt) => BinOp::Lt,
+            Some(Token::Le) => BinOp::Le,
+            Some(Token::Gt) => BinOp::Gt,
+            Some(Token::Ge) => BinOp::Ge,
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("overlaps") => BinOp::Overlaps,
+            _ => return Ok(lhs),
+        };
+        self.pos += 1;
+        let rhs = self.primary()?;
+        Ok(Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) })
+    }
+
+    /// expr := comparison (AND comparison)*
+    fn expr(&mut self) -> Result<Expr> {
+        let mut lhs = self.comparison()?;
+        while self.keyword("and") {
+            let rhs = self.comparison()?;
+            lhs = Expr::Binary { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn select(&mut self) -> Result<SelectStmt> {
+        self.expect_keyword("select")?;
+        let projection = if self.peek() == Some(&Token::Star) {
+            self.pos += 1;
+            Projection::Star
+        } else {
+            let mut exprs = vec![self.expr()?];
+            while self.peek() == Some(&Token::Comma) {
+                self.pos += 1;
+                exprs.push(self.expr()?);
+            }
+            Projection::Exprs(exprs)
+        };
+        self.expect_keyword("from")?;
+        let mut tables = vec![self.ident()?];
+        while self.peek() == Some(&Token::Comma) {
+            self.pos += 1;
+            tables.push(self.ident()?);
+        }
+        let where_clause = if self.keyword("where") { Some(self.expr()?) } else { None };
+        let mut group_by = Vec::new();
+        if self.keyword("group") {
+            self.expect_keyword("by")?;
+            group_by.push(self.expr()?);
+            while self.peek() == Some(&Token::Comma) {
+                self.pos += 1;
+                group_by.push(self.expr()?);
+            }
+        }
+        let order_by = if self.keyword("order") {
+            self.expect_keyword("by")?;
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        let _ = self.peek() == Some(&Token::Semi) && {
+            self.pos += 1;
+            true
+        };
+        if self.pos != self.toks.len() {
+            return self.err("trailing tokens after statement");
+        }
+        Ok(SelectStmt { projection, tables, where_clause, group_by, order_by })
+    }
+}
+
+/// Parses one SELECT statement.
+pub fn parse_select(input: &str) -> Result<SelectStmt> {
+    let toks = lex(input)?;
+    Parser { toks, pos: 0 }.select()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q5_shape() {
+        let s = parse_select("select * from populatedPlaces where name = \"Phoenix\"").unwrap();
+        assert_eq!(s.projection, Projection::Star);
+        assert_eq!(s.tables, vec!["populatedPlaces"]);
+        let w = s.where_clause.unwrap();
+        assert_eq!(
+            w,
+            Expr::Binary {
+                op: BinOp::Eq,
+                lhs: Box::new(Expr::Column { table: None, column: "name".into() }),
+                rhs: Box::new(Expr::Str("Phoenix".into())),
+            }
+        );
+    }
+
+    #[test]
+    fn q2_shape() {
+        let s = parse_select(
+            "select raster.date, raster.data.clip(Polygon(-125, 25, -67, 25, -67, 49, -125, 49)) \
+             from raster where raster.channel = 5 order by date",
+        )
+        .unwrap();
+        let Projection::Exprs(exprs) = &s.projection else { panic!() };
+        assert_eq!(exprs.len(), 2);
+        assert!(exprs[1].mentions_method("clip"));
+        assert_eq!(s.order_by.as_deref(), Some("date"));
+    }
+
+    #[test]
+    fn chained_methods_and_nested_calls() {
+        let s = parse_select(
+            "select raster.data.clip(Polygon(0, 0, 1, 0, 1, 1)).lower_res(8) from raster \
+             where raster.date = Date(\"1988-04-01\") and raster.channel = 5",
+        )
+        .unwrap();
+        let Projection::Exprs(exprs) = &s.projection else { panic!() };
+        let Expr::Method { name, recv, args } = &exprs[0] else { panic!() };
+        assert_eq!(name, "lower_res");
+        assert_eq!(args, &vec![Expr::Int(8)]);
+        assert!(recv.mentions_method("clip"));
+        assert_eq!(s.conjuncts().len(), 2);
+    }
+
+    #[test]
+    fn overlaps_and_circle_containment() {
+        let s = parse_select(
+            "select shape.area(), type from landCover \
+             where shape < Circle(Point(3, 4), 10) and shape.area() < 5.5",
+        )
+        .unwrap();
+        let conj = s.conjuncts();
+        assert_eq!(conj.len(), 2);
+        assert!(matches!(conj[0], Expr::Binary { op: BinOp::Lt, .. }));
+
+        let s = parse_select("select * from drainage, roads where drainage.shape overlaps roads.shape")
+            .unwrap();
+        assert_eq!(s.tables, vec!["drainage", "roads"]);
+        assert!(matches!(
+            s.where_clause.unwrap(),
+            Expr::Binary { op: BinOp::Overlaps, .. }
+        ));
+    }
+
+    #[test]
+    fn group_by_closest() {
+        let s = parse_select(
+            "select closest(shape, Point(5, 6)), type from roads group by type",
+        )
+        .unwrap();
+        let Projection::Exprs(exprs) = &s.projection else { panic!() };
+        assert!(exprs[0].is_call("closest"));
+        assert_eq!(s.group_by.len(), 1);
+    }
+
+    #[test]
+    fn qualified_columns() {
+        let s = parse_select(
+            "select landCover.shape from landCover, populatedPlaces \
+             where populatedPlaces.name = \"Louisville\" and \
+             landCover.shape overlaps populatedPlaces.location.makeBox(2.5)",
+        )
+        .unwrap();
+        let conj_count = s.conjuncts().len();
+        assert_eq!(conj_count, 2);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_select("selec * from t").is_err());
+        assert!(parse_select("select from t").is_err());
+        assert!(parse_select("select * from").is_err());
+        assert!(parse_select("select * from t where").is_err());
+        assert!(parse_select("select * from t trailing junk").is_err());
+        let e = parse_select("select a from t where a = ").unwrap_err();
+        assert!(e.message.contains("expected expression"));
+    }
+
+    #[test]
+    fn parenthesised_expression() {
+        let s = parse_select("select (a) from t where (x = 1) and y = 2").unwrap();
+        assert_eq!(s.conjuncts().len(), 2);
+    }
+}

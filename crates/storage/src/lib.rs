@@ -1,0 +1,100 @@
+//! # paradise-storage
+//!
+//! A from-scratch storage manager modelled on the SHORE Storage Manager
+//! \[Care94\] that Paradise runs on (paper §2.2):
+//!
+//! > "The SHORE Storage Manager provides storage volumes, files of untyped
+//! > objects, B+-trees, and R*-trees. Objects can be arbitrarily large, up
+//! > to the size of a storage volume. Allocation of space inside a storage
+//! > volume is performed in terms of fixed-size extents."
+//!
+//! Provided here:
+//!
+//! * [`page`] — 8 KB slotted pages;
+//! * [`volume`] — file-backed storage volumes with **extent** allocation
+//!   (8 pages per extent) and a free-extent list;
+//! * [`buffer`] — a pin-count + LRU buffer pool with hit/miss/IO statistics
+//!   (the experiments flush it between queries, as the paper does);
+//! * [`heap`] — files of untyped objects addressed by OID, with automatic
+//!   spill of large objects;
+//! * [`lob`] — arbitrarily large objects stored as page chains, with the
+//!   three lifetime classes of paper §2.5.2 (base table / temporary table /
+//!   operator-scoped);
+//! * [`wal`] — a redo-only write-ahead log giving atomic commit (full ARIES
+//!   \[Moha92\] undo/fuzzy-checkpoint machinery is substituted by
+//!   page-image redo logging; see DESIGN.md);
+//! * [`btree`] — a page-based B+-tree on byte-string keys;
+//! * [`rtree`] — an R*-tree \[Beck90\] with forced reinsertion and
+//!   Sort-Tile-Recursive bulk loading, serializable into a large object.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod btree;
+pub mod buffer;
+pub mod heap;
+pub mod lob;
+pub mod page;
+pub mod rtree;
+pub mod store;
+pub mod volume;
+pub mod wal;
+
+pub use buffer::{BufferPool, BufferStats};
+pub use heap::HeapFile;
+pub use page::{Page, PageId, SlotId, PAGE_SIZE};
+pub use rtree::RTree;
+pub use store::{Oid, Store};
+pub use volume::Volume;
+
+/// Errors from the storage layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Page reference outside the volume.
+    BadPageId(PageId),
+    /// Slot reference not present on the page.
+    BadSlot {
+        /// Page searched.
+        page: PageId,
+        /// Missing slot.
+        slot: SlotId,
+    },
+    /// Object too large for the requested placement.
+    ObjectTooLarge(usize),
+    /// Buffer pool has no evictable frame (everything pinned).
+    PoolExhausted,
+    /// Key not found in an index.
+    KeyNotFound,
+    /// Corrupt on-disk structure.
+    Corrupt(&'static str),
+    /// Record or key exceeds what a page can hold.
+    RecordTooLarge(usize),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "io error: {e}"),
+            StorageError::BadPageId(p) => write!(f, "bad page id {p}"),
+            StorageError::BadSlot { page, slot } => write!(f, "bad slot {slot} on page {page}"),
+            StorageError::ObjectTooLarge(n) => write!(f, "object of {n} bytes too large"),
+            StorageError::PoolExhausted => write!(f, "buffer pool exhausted (all pages pinned)"),
+            StorageError::KeyNotFound => write!(f, "key not found"),
+            StorageError::Corrupt(w) => write!(f, "corrupt structure: {w}"),
+            StorageError::RecordTooLarge(n) => write!(f, "record of {n} bytes exceeds page"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Result alias for storage operations.
+pub type Result<T> = std::result::Result<T, StorageError>;

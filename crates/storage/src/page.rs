@@ -1,0 +1,358 @@
+//! Slotted pages.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! 0..8    next_page (PageId, u64::MAX = none) — heap files chain pages
+//! 8..10   num_slots (u16)
+//! 10..12  free_start (u16)  — end of the slot directory growth area
+//! 12..14  free_end   (u16)  — start of the record heap (records grow down)
+//! 14..16  flags      (u16)
+//! 16..    slot directory: (offset u16, len u16) per slot; len==DEAD marks
+//!         a deleted slot whose id may not be reused until compaction
+//! ...     free space
+//! ...PAGE records, allocated from the end towards the front
+//! ```
+
+use crate::{PageId as Pid, Result, SlotId as Sid, StorageError};
+
+/// Size of every page: 8 KB, the classic SHORE/DBMS page size.
+pub const PAGE_SIZE: usize = 8192;
+
+/// Page number within a volume.
+pub type PageId = u64;
+
+/// Slot number within a page.
+pub type SlotId = u16;
+
+const HDR: usize = 16;
+const SLOT_SIZE: usize = 4;
+const DEAD: u16 = u16::MAX;
+
+/// Sentinel "no page" value for page links.
+pub const NO_PAGE: PageId = u64::MAX;
+
+/// An 8 KB slotted page. `Page` is a plain owned buffer; the buffer pool
+/// hands out guarded references to pages living in frames.
+#[derive(Clone)]
+pub struct Page {
+    buf: Box<[u8; PAGE_SIZE]>,
+}
+
+impl Default for Page {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Page {
+    /// A fresh, empty page.
+    pub fn new() -> Self {
+        let mut p = Page { buf: Box::new([0; PAGE_SIZE]) };
+        p.set_next_page(NO_PAGE);
+        p.set_u16(10, HDR as u16); // free_start
+        p.set_u16(12, PAGE_SIZE as u16); // free_end (8192 fits in u16)
+        p
+    }
+
+    /// Wraps raw bytes read from disk.
+    pub fn from_bytes(bytes: [u8; PAGE_SIZE]) -> Self {
+        Page { buf: Box::new(bytes) }
+    }
+
+    /// The raw bytes (for volume writes / WAL page images).
+    pub fn bytes(&self) -> &[u8; PAGE_SIZE] {
+        &self.buf
+    }
+
+    /// Mutable raw access for typed overlays (B-tree nodes etc.).
+    pub fn bytes_mut(&mut self) -> &mut [u8; PAGE_SIZE] {
+        &mut self.buf
+    }
+
+    fn get_u16(&self, off: usize) -> u16 {
+        u16::from_le_bytes([self.buf[off], self.buf[off + 1]])
+    }
+
+    fn set_u16(&mut self, off: usize, v: u16) {
+        self.buf[off..off + 2].copy_from_slice(&v.to_le_bytes());
+    }
+
+    fn get_u64(&self, off: usize) -> u64 {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&self.buf[off..off + 8]);
+        u64::from_le_bytes(b)
+    }
+
+    fn set_u64(&mut self, off: usize, v: u64) {
+        self.buf[off..off + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Link to the next page in a file chain ([`NO_PAGE`] when last).
+    pub fn next_page(&self) -> PageId {
+        self.get_u64(0)
+    }
+
+    /// Sets the next-page link.
+    pub fn set_next_page(&mut self, pid: PageId) {
+        self.set_u64(0, pid);
+    }
+
+    /// Number of slots in the directory (live and dead).
+    pub fn num_slots(&self) -> u16 {
+        self.get_u16(8)
+    }
+
+    fn set_num_slots(&mut self, n: u16) {
+        self.set_u16(8, n);
+    }
+
+    fn free_start(&self) -> usize {
+        self.get_u16(10) as usize
+    }
+
+    fn free_end(&self) -> usize {
+        let v = self.get_u16(12) as usize;
+        if v == 0 {
+            PAGE_SIZE
+        } else {
+            v
+        }
+    }
+
+    /// Contiguous free bytes available for a new record (including its
+    /// slot-directory entry).
+    pub fn free_space(&self) -> usize {
+        self.free_end().saturating_sub(self.free_start())
+    }
+
+    /// True when a record of `len` bytes fits.
+    pub fn fits(&self, len: usize) -> bool {
+        self.free_space() >= len + SLOT_SIZE
+    }
+
+    /// Inserts a record, returning its slot id.
+    pub fn insert(&mut self, record: &[u8]) -> Result<Sid> {
+        if record.len() + SLOT_SIZE > self.free_space() {
+            return Err(StorageError::RecordTooLarge(record.len()));
+        }
+        let slot = self.num_slots();
+        let new_end = self.free_end() - record.len();
+        self.buf[new_end..new_end + record.len()].copy_from_slice(record);
+        let dir = HDR + slot as usize * SLOT_SIZE;
+        self.set_u16(dir, new_end as u16);
+        self.set_u16(dir + 2, record.len() as u16);
+        self.set_num_slots(slot + 1);
+        self.set_u16(10, (dir + SLOT_SIZE) as u16);
+        self.set_u16(12, new_end as u16);
+        Ok(slot)
+    }
+
+    fn slot_entry(&self, slot: Sid) -> Result<(usize, usize)> {
+        if slot >= self.num_slots() {
+            return Err(StorageError::BadSlot { page: 0 as Pid, slot });
+        }
+        let dir = HDR + slot as usize * SLOT_SIZE;
+        let off = self.get_u16(dir) as usize;
+        let len = self.get_u16(dir + 2);
+        if len == DEAD {
+            return Err(StorageError::BadSlot { page: 0 as Pid, slot });
+        }
+        Ok((off, len as usize))
+    }
+
+    /// Reads the record in `slot`.
+    pub fn get(&self, slot: Sid) -> Result<&[u8]> {
+        let (off, len) = self.slot_entry(slot)?;
+        Ok(&self.buf[off..off + len])
+    }
+
+    /// Marks `slot` deleted. Space is reclaimed by [`Page::compact`].
+    pub fn delete(&mut self, slot: Sid) -> Result<()> {
+        self.slot_entry(slot)?; // validate
+        let dir = HDR + slot as usize * SLOT_SIZE;
+        self.set_u16(dir + 2, DEAD);
+        Ok(())
+    }
+
+    /// Overwrites the record in `slot`. Equal-length updates happen in
+    /// place; otherwise the record is re-allocated (old space is reclaimed
+    /// on the next compaction). Fails if no room.
+    pub fn update(&mut self, slot: Sid, record: &[u8]) -> Result<()> {
+        let (off, len) = self.slot_entry(slot)?;
+        if record.len() == len {
+            self.buf[off..off + len].copy_from_slice(record);
+            return Ok(());
+        }
+        if record.len() + SLOT_SIZE > self.free_space() {
+            // Try compaction first: the old copy's space may be enough.
+            self.compact();
+            let (_, len2) = self.slot_entry(slot)?;
+            let _ = len2;
+            if record.len() > self.free_space() {
+                return Err(StorageError::RecordTooLarge(record.len()));
+            }
+        }
+        let new_end = self.free_end() - record.len();
+        self.buf[new_end..new_end + record.len()].copy_from_slice(record);
+        let dir = HDR + slot as usize * SLOT_SIZE;
+        self.set_u16(dir, new_end as u16);
+        self.set_u16(dir + 2, record.len() as u16);
+        self.set_u16(12, new_end as u16);
+        Ok(())
+    }
+
+    /// Live slot ids in ascending order.
+    pub fn live_slots(&self) -> Vec<Sid> {
+        (0..self.num_slots())
+            .filter(|&s| {
+                let dir = HDR + s as usize * SLOT_SIZE;
+                self.get_u16(dir + 2) != DEAD
+            })
+            .collect()
+    }
+
+    /// Rewrites all live records contiguously at the end of the page,
+    /// reclaiming dead space. Slot ids are preserved.
+    pub fn compact(&mut self) {
+        let n = self.num_slots();
+        let mut records: Vec<(Sid, Vec<u8>)> = Vec::with_capacity(n as usize);
+        for s in 0..n {
+            if let Ok((off, len)) = self.slot_entry(s) {
+                records.push((s, self.buf[off..off + len].to_vec()));
+            }
+        }
+        let mut end = PAGE_SIZE;
+        for (s, rec) in &records {
+            end -= rec.len();
+            self.buf[end..end + rec.len()].copy_from_slice(rec);
+            let dir = HDR + *s as usize * SLOT_SIZE;
+            self.set_u16(dir, end as u16);
+            self.set_u16(dir + 2, rec.len() as u16);
+        }
+        self.set_u16(12, end as u16);
+    }
+}
+
+impl std::fmt::Debug for Page {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Page")
+            .field("next", &self.next_page())
+            .field("slots", &self.num_slots())
+            .field("free", &self.free_space())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_page_is_empty() {
+        let p = Page::new();
+        assert_eq!(p.num_slots(), 0);
+        assert_eq!(p.next_page(), NO_PAGE);
+        assert_eq!(p.free_space(), PAGE_SIZE - HDR);
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut p = Page::new();
+        let s0 = p.insert(b"hello").unwrap();
+        let s1 = p.insert(b"world!").unwrap();
+        assert_eq!(p.get(s0).unwrap(), b"hello");
+        assert_eq!(p.get(s1).unwrap(), b"world!");
+        assert_eq!(p.num_slots(), 2);
+    }
+
+    #[test]
+    fn fill_page_until_full() {
+        let mut p = Page::new();
+        let rec = [0xABu8; 100];
+        let mut n = 0;
+        while p.fits(rec.len()) {
+            p.insert(&rec).unwrap();
+            n += 1;
+        }
+        // 8192 - 16 header over (100 + 4) per record => 78 records
+        assert_eq!(n, (PAGE_SIZE - HDR) / 104);
+        assert!(p.insert(&rec).is_err());
+    }
+
+    #[test]
+    fn delete_and_live_slots() {
+        let mut p = Page::new();
+        let a = p.insert(b"a").unwrap();
+        let b = p.insert(b"b").unwrap();
+        let c = p.insert(b"c").unwrap();
+        p.delete(b).unwrap();
+        assert_eq!(p.live_slots(), vec![a, c]);
+        assert!(p.get(b).is_err());
+        assert!(p.delete(b).is_err());
+        assert_eq!(p.get(c).unwrap(), b"c");
+    }
+
+    #[test]
+    fn compact_reclaims_space() {
+        let mut p = Page::new();
+        let big = vec![1u8; 3000];
+        let a = p.insert(&big).unwrap();
+        let b = p.insert(&big).unwrap();
+        let keep = p.insert(b"keep").unwrap();
+        assert!(!p.fits(3000));
+        p.delete(a).unwrap();
+        p.delete(b).unwrap();
+        p.compact();
+        assert!(p.fits(3000));
+        assert_eq!(p.get(keep).unwrap(), b"keep");
+    }
+
+    #[test]
+    fn update_in_place_and_resized() {
+        let mut p = Page::new();
+        let s = p.insert(b"12345").unwrap();
+        p.update(s, b"abcde").unwrap();
+        assert_eq!(p.get(s).unwrap(), b"abcde");
+        p.update(s, b"a-longer-record").unwrap();
+        assert_eq!(p.get(s).unwrap(), b"a-longer-record");
+        p.update(s, b"x").unwrap();
+        assert_eq!(p.get(s).unwrap(), b"x");
+    }
+
+    #[test]
+    fn update_uses_compaction_when_tight() {
+        let mut p = Page::new();
+        let filler = vec![7u8; 2000];
+        let s = p.insert(&filler).unwrap();
+        let mut others = Vec::new();
+        while p.fits(2000) {
+            others.push(p.insert(&filler).unwrap());
+        }
+        // Delete one other record, then grow s beyond current free space.
+        p.delete(others[0]).unwrap();
+        let bigger = vec![9u8; 2100];
+        p.update(s, &bigger).unwrap();
+        assert_eq!(p.get(s).unwrap(), &bigger[..]);
+    }
+
+    #[test]
+    fn roundtrip_through_bytes() {
+        let mut p = Page::new();
+        p.insert(b"persisted").unwrap();
+        p.set_next_page(42);
+        let q = Page::from_bytes(*p.bytes());
+        assert_eq!(q.get(0).unwrap(), b"persisted");
+        assert_eq!(q.next_page(), 42);
+    }
+
+    #[test]
+    fn record_exactly_filling_page() {
+        let mut p = Page::new();
+        let max = PAGE_SIZE - HDR - SLOT_SIZE;
+        let rec = vec![5u8; max];
+        let s = p.insert(&rec).unwrap();
+        assert_eq!(p.get(s).unwrap().len(), max);
+        assert_eq!(p.free_space(), 0);
+    }
+}

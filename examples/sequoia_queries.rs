@@ -1,0 +1,79 @@
+//! Runs a sample of the global Sequoia 2000 benchmark queries (paper §3.1)
+//! over a small synthetic world, through the SQL front end.
+//!
+//! ```sh
+//! cargo run --release --example sequoia_queries
+//! ```
+
+use paradise::{Paradise, ParadiseConfig};
+use paradise_datagen::tables::{
+    drainage_table, land_cover_table, populated_places_table, raster_table, roads_table, World,
+    WorldSpec,
+};
+
+fn main() {
+    // Generate a small world and load it (benchmark Q1).
+    let world = World::generate(WorldSpec::paper_ratio(7, 1, 5000));
+    let dir = std::env::temp_dir().join("paradise-sequoia-example");
+    let mut db = Paradise::create(
+        ParadiseConfig::new(dir, 4).with_grid_tiles(1024).with_pool_pages(2048),
+    )
+    .expect("create");
+    db.define_table(raster_table().with_tile_bytes(4096));
+    db.define_table(populated_places_table());
+    db.define_table(roads_table());
+    db.define_table(drainage_table());
+    db.define_table(land_cover_table());
+    db.load_table("raster", world.rasters.iter().cloned()).unwrap();
+    db.load_table("populatedPlaces", world.populated_places.iter().cloned()).unwrap();
+    db.load_table("roads", world.roads.iter().cloned()).unwrap();
+    db.load_table("drainage", world.drainage.iter().cloned()).unwrap();
+    db.load_table("landCover", world.land_cover.iter().cloned()).unwrap();
+    db.create_btree_index("populatedPlaces", 4).unwrap();
+    db.create_rtree_index("landCover", 2).unwrap();
+    db.create_rtree_index("roads", 2).unwrap();
+    db.create_rtree_index("drainage", 2).unwrap();
+    db.commit().unwrap();
+    println!("loaded: {:?}", db.table_names());
+
+    // The continental-US clip polygon of the benchmark.
+    let us = "Polygon(-125, 25, -67, 25, -67, 49, -125, 49)";
+
+    let statements = [
+        ("Q2", format!(
+            "select raster.date, raster.data.clip({us}) from raster \
+             where raster.channel = 5 order by date"
+        )),
+        ("Q5", "select * from populatedPlaces where name = \"Phoenix\"".to_string()),
+        ("Q6", format!("select * from landCover where shape overlaps {us}")),
+        ("Q7", "select shape.area(), type from landCover \
+                where shape < Circle(Point(-90, 40), 25) and shape.area() < 3".to_string()),
+        ("Q8", "select landCover.shape, landCover.type from landCover, populatedPlaces \
+                where populatedPlaces.name = \"Louisville\" and \
+                landCover.shape overlaps populatedPlaces.location.makeBox(8)".to_string()),
+        ("Q11", "select closest(shape, Point(-89.4, 43.1)), type from roads group by type"
+            .to_string()),
+        ("Q12", "select closest(drainage.shape, populatedPlaces.location), \
+                 populatedPlaces.location from drainage, populatedPlaces \
+                 where populatedPlaces.location overlaps drainage.shape and \
+                 populatedPlaces.type = 1 group by populatedPlaces.location".to_string()),
+        ("Q13", "select * from drainage, roads where drainage.shape overlaps roads.shape"
+            .to_string()),
+    ];
+
+    println!("\n{:<5}{:>8}{:>14}{:>12}{:>10}", "query", "rows", "simulated", "net KB", "pulls");
+    for (name, text) in &statements {
+        db.flush_caches().unwrap();
+        let base = db.cluster().net.snapshot();
+        let r = db.sql(text).unwrap_or_else(|e| panic!("{name} failed: {e}"));
+        let d = db.cluster().net.since(base);
+        println!(
+            "{:<5}{:>8}{:>14.4?}{:>12.1}{:>10}",
+            name,
+            r.rows.len(),
+            r.metrics.simulated_time(),
+            d.bytes as f64 / 1024.0,
+            d.pulls
+        );
+    }
+}

@@ -1,0 +1,285 @@
+//! End-to-end correctness of the fourteen benchmark queries on a small
+//! world, checked against brute-force evaluation of the paper's SQL
+//! semantics wherever feasible.
+
+use paradise::queries::{self, LC_SHAPE, LC_TYPE, LINE_SHAPE, LINE_TYPE, PP_LOC, PP_NAME, PP_TYPE};
+use paradise::{Paradise, ParadiseConfig};
+use paradise_datagen::tables::{
+    self, drainage_table, land_cover_table, populated_places_table, raster_table, roads_table,
+    World, WorldSpec, LARGE_CITY, OIL_FIELD, QUERY_CHANNEL,
+};
+use paradise_exec::value::{Date, RasterValue, Value};
+use paradise_geom::{Point, Shape};
+
+fn load_world(nodes: usize, tag: &str) -> (Paradise, World) {
+    let world = World::generate(WorldSpec::paper_ratio(5, 1, 4000));
+    let dir = std::env::temp_dir().join(format!(
+        "paradise-it-suite-{}-{tag}-{nodes}",
+        std::process::id()
+    ));
+    let mut db = Paradise::create(
+        ParadiseConfig::new(dir, nodes)
+            .with_grid_tiles(1024)
+            .with_pool_pages(2048),
+    )
+    .unwrap();
+    db.define_table(raster_table().with_tile_bytes(4096));
+    db.define_table(populated_places_table());
+    db.define_table(roads_table());
+    db.define_table(drainage_table());
+    db.define_table(land_cover_table());
+    db.load_table("raster", world.rasters.iter().cloned()).unwrap();
+    db.load_table("populatedPlaces", world.populated_places.iter().cloned()).unwrap();
+    db.load_table("roads", world.roads.iter().cloned()).unwrap();
+    db.load_table("drainage", world.drainage.iter().cloned()).unwrap();
+    db.load_table("landCover", world.land_cover.iter().cloned()).unwrap();
+    db.create_btree_index("populatedPlaces", PP_NAME).unwrap();
+    db.create_rtree_index("landCover", LC_SHAPE).unwrap();
+    db.create_rtree_index("roads", LINE_SHAPE).unwrap();
+    db.create_rtree_index("drainage", LINE_SHAPE).unwrap();
+    db.commit().unwrap();
+    (db, world)
+}
+
+#[test]
+fn full_benchmark_suite_is_correct() {
+    let (db, world) = load_world(4, "full");
+    let us = tables::us_polygon();
+    let d = tables::query_date();
+
+    // ---- Q2: one row per channel-5 raster whose clip is non-empty ------
+    let q2 = queries::q2(&db, QUERY_CHANNEL, &us).unwrap();
+    let expect_q2 = world
+        .rasters
+        .iter()
+        .filter(|t| t.get(1).unwrap().as_int().unwrap() == QUERY_CHANNEL)
+        .count();
+    assert_eq!(q2.rows.len(), expect_q2, "Q2 cardinality");
+    // sorted by date
+    let dates: Vec<Date> = q2.rows.iter().map(|r| r.get(0).unwrap().as_date().unwrap()).collect();
+    assert!(dates.windows(2).all(|w| w[0] <= w[1]), "Q2 order by date");
+    // Each clip covers the US box (58 deg wide), snapped outward to whole
+    // pixels (4 deg/pixel at the 90x45 base resolution).
+    if let Value::Raster(RasterValue::Mem(r)) = q2.rows[0].get(1).unwrap() {
+        assert!(
+            r.geo().width() >= 58.0 && r.geo().width() <= 58.0 + 2.0 * 4.0,
+            "clip geo width {}",
+            r.geo().width()
+        );
+        assert!(r.geo().contains_rect(&us.bbox()) || us.bbox().contains_rect(&r.geo())
+            || r.geo().intersects(&us.bbox()));
+    } else {
+        panic!("Q2 must return clipped rasters");
+    }
+
+    // ---- Q3: the average image over the date's 4 channels --------------
+    let q3 = queries::q3(&db, d, &us, false).unwrap();
+    assert_eq!(q3.rows.len(), 1);
+    let Value::Raster(RasterValue::Mem(avg)) = q3.rows[0].get(0).unwrap() else {
+        panic!("Q3 returns a raster");
+    };
+    assert!(avg.average().unwrap() > 0.0);
+    // Pulls happened: node 0 fetched remote tiles of rasters it does not own.
+    assert!(q3.metrics.phases.len() >= 1);
+
+    // ---- Q4: single raster, lower-res output ---------------------------
+    let q4 = queries::q4(&db, d, QUERY_CHANNEL, &us, 8).unwrap();
+    assert_eq!(q4.rows.len(), 1, "exactly one raster matches date+channel");
+    let Value::Raster(RasterValue::Mem(low)) = q4.rows[0].get(2).unwrap() else {
+        panic!("Q4 returns a raster");
+    };
+    assert!(low.width() <= 58 / 8 + 1);
+
+    // ---- Q5: Phoenix ----------------------------------------------------
+    let q5 = queries::q5(&db, "Phoenix").unwrap();
+    let expect_q5 = world
+        .populated_places
+        .iter()
+        .filter(|t| t.get(PP_NAME).unwrap().as_str().unwrap() == "Phoenix")
+        .count();
+    assert_eq!(q5.rows.len(), expect_q5);
+    assert!(expect_q5 >= 1);
+
+    // ---- Q6: polygons overlapping the US box (vs brute force) ----------
+    let q6 = queries::q6(&db, &us).unwrap();
+    let brute_q6 = world
+        .land_cover
+        .iter()
+        .filter(|t| {
+            t.get(LC_SHAPE).unwrap().as_shape().unwrap()
+                .overlaps(&Shape::Polygon(us.clone()))
+        })
+        .count();
+    assert_eq!(q6.rows.len(), brute_q6, "Q6 must match brute force (no dups, no misses)");
+
+    // ---- Q7: circle containment + area filter (vs brute force) ---------
+    let (center, radius, max_area) = (Point::new(-90.0, 40.0), 25.0, 3.0);
+    let q7 = queries::q7(&db, center, radius, max_area).unwrap();
+    let circle = paradise_geom::Circle::new(center, radius).unwrap();
+    let brute_q7 = world
+        .land_cover
+        .iter()
+        .filter(|t| {
+            let Shape::Polygon(p) = t.get(LC_SHAPE).unwrap().as_shape().unwrap() else {
+                return false;
+            };
+            p.within_circle(&circle) && p.area() < max_area
+        })
+        .count();
+    assert_eq!(q7.rows.len(), brute_q7, "Q7 must match brute force");
+
+    // ---- Q8: polygons near Louisville (vs brute force) ------------------
+    let q8 = queries::q8(&db, "Louisville", 8.0).unwrap();
+    let mut brute_q8 = 0;
+    for c in world
+        .populated_places
+        .iter()
+        .filter(|t| t.get(PP_NAME).unwrap().as_str().unwrap() == "Louisville")
+    {
+        let p = c.get(PP_LOC).unwrap().as_shape().unwrap().as_point().unwrap();
+        let b = p.make_box(8.0);
+        brute_q8 += world
+            .land_cover
+            .iter()
+            .filter(|t| {
+                t.get(LC_SHAPE).unwrap().as_shape().unwrap().overlaps(&Shape::Rect(b))
+            })
+            .count();
+    }
+    assert_eq!(q8.rows.len(), brute_q8, "Q8 must match brute force");
+
+    // ---- Q9: oil polygons x one raster ----------------------------------
+    let q9 = queries::q9(&db, d, QUERY_CHANNEL, OIL_FIELD).unwrap();
+    let oil_count = {
+        let mut ids = std::collections::HashSet::new();
+        for t in &world.land_cover {
+            if t.get(LC_TYPE).unwrap().as_int().unwrap() == OIL_FIELD {
+                ids.insert(t.get(0).unwrap().as_str().unwrap().to_string());
+            }
+        }
+        ids.len()
+    };
+    // Every oil polygon lies inside the world = inside the raster.
+    assert_eq!(q9.rows.len(), oil_count, "Q9: one clip per oil polygon");
+
+    // ---- Q10: threshold filter ------------------------------------------
+    let q10 = queries::q10(&db, &us, 25_000.0).unwrap();
+    assert!(q10.rows.len() <= world.rasters.len());
+    for row in &q10.rows {
+        let Value::Raster(RasterValue::Mem(r)) = row.get(2).unwrap() else {
+            panic!("Q10 returns clips");
+        };
+        assert!(r.average().unwrap() > 25_000.0, "Q10 predicate must hold");
+    }
+    // The latitude-gradient rasters have means well below 40k and above 10k,
+    // so the threshold should separate: some rows pass, not all.
+    assert!(!q10.rows.is_empty(), "Q10 should select something");
+
+    // ---- Q11: closest road per type (vs brute force) ---------------------
+    let probe = Point::new(-89.4, 43.1);
+    let q11 = queries::q11(&db, probe).unwrap();
+    let mut brute: std::collections::HashMap<i64, f64> = std::collections::HashMap::new();
+    for t in &world.roads {
+        let ty = t.get(LINE_TYPE).unwrap().as_int().unwrap();
+        let dd = t.get(LINE_SHAPE).unwrap().as_shape().unwrap().distance_to_point(&probe);
+        let e = brute.entry(ty).or_insert(f64::INFINITY);
+        if dd < *e {
+            *e = dd;
+        }
+    }
+    assert_eq!(q11.rows.len(), brute.len(), "Q11: one row per road type");
+    for row in &q11.rows {
+        let ty = row.get(1).unwrap().as_int().unwrap();
+        let dist = row.get(2).unwrap().as_float().unwrap();
+        assert!((dist - brute[&ty]).abs() < 1e-9, "Q11 type {ty}");
+    }
+
+    // ---- Q12: closest drainage to each large city (vs brute force) -------
+    let q12 = queries::q12(&db, LARGE_CITY, true).unwrap();
+    let cities: Vec<Point> = world
+        .populated_places
+        .iter()
+        .filter(|t| t.get(PP_TYPE).unwrap().as_int().unwrap() == LARGE_CITY)
+        .map(|t| t.get(PP_LOC).unwrap().as_shape().unwrap().as_point().unwrap())
+        .collect();
+    assert_eq!(q12.rows.len(), cities.len(), "Q12: one row per large city");
+    for row in &q12.rows {
+        let loc = row.get(1).unwrap().as_shape().unwrap().as_point().unwrap();
+        let dist = row.get(2).unwrap().as_float().unwrap();
+        let brute = world
+            .drainage
+            .iter()
+            .map(|t| t.get(LINE_SHAPE).unwrap().as_shape().unwrap().distance_to_point(&loc))
+            .fold(f64::INFINITY, f64::min);
+        assert!((dist - brute).abs() < 1e-9, "Q12 city at {loc}");
+    }
+
+    // ---- Q13: drainage x roads crossings (vs brute force) ----------------
+    let q13 = queries::q13(&db).unwrap();
+    let mut brute_q13 = 0usize;
+    for a in &world.drainage {
+        let sa = a.get(LINE_SHAPE).unwrap().as_shape().unwrap();
+        for b in &world.roads {
+            if sa.overlaps(b.get(LINE_SHAPE).unwrap().as_shape().unwrap()) {
+                brute_q13 += 1;
+            }
+        }
+    }
+    assert_eq!(q13.rows.len(), brute_q13, "Q13 must match brute force exactly");
+    assert!(brute_q13 > 0, "world should contain crossings");
+
+    // ---- Q14: oil polygons x a season of rasters --------------------------
+    let hi = Date(d.0 + 270);
+    let q14 = queries::q14(&db, d, hi, QUERY_CHANNEL, OIL_FIELD).unwrap();
+    let rasters_in_range = world
+        .rasters
+        .iter()
+        .filter(|t| {
+            let rd = t.get(0).unwrap().as_date().unwrap();
+            t.get(1).unwrap().as_int().unwrap() == QUERY_CHANNEL && rd >= d && rd <= hi
+        })
+        .count();
+    assert_eq!(q14.rows.len(), oil_count * rasters_in_range, "Q14 cardinality");
+    assert!(rasters_in_range > 1, "Q14 must touch several rasters");
+}
+
+#[test]
+fn q12_semi_join_ablation_same_answers() {
+    let (db, _world) = load_world(4, "abl");
+    let with = queries::q12(&db, LARGE_CITY, true).unwrap();
+    let without = queries::q12(&db, LARGE_CITY, false).unwrap();
+    assert_eq!(with.rows.len(), without.rows.len());
+    for (a, b) in with.rows.iter().zip(&without.rows) {
+        assert_eq!(a.get(1).unwrap(), b.get(1).unwrap());
+        let da = a.get(2).unwrap().as_float().unwrap();
+        let db_ = b.get(2).unwrap().as_float().unwrap();
+        assert!((da - db_).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn results_identical_across_cluster_sizes() {
+    // Declustering must never change answers: 2-node and 6-node clusters
+    // agree on every deterministic query.
+    let (db2, _w) = load_world(2, "n2");
+    let (db6, _w) = load_world(6, "n6");
+    let us = tables::us_polygon();
+
+    let a = queries::q6(&db2, &us).unwrap();
+    let b = queries::q6(&db6, &us).unwrap();
+    assert_eq!(a.rows.len(), b.rows.len(), "Q6 across cluster sizes");
+
+    let a = queries::q13(&db2).unwrap();
+    let b = queries::q13(&db6).unwrap();
+    assert_eq!(a.rows.len(), b.rows.len(), "Q13 across cluster sizes");
+
+    let a = queries::q11(&db2, Point::new(10.0, 10.0)).unwrap();
+    let b = queries::q11(&db6, Point::new(10.0, 10.0)).unwrap();
+    assert_eq!(a.rows.len(), b.rows.len(), "Q11 across cluster sizes");
+    for (x, y) in a.rows.iter().zip(&b.rows) {
+        assert_eq!(
+            x.get(2).unwrap().as_float().unwrap(),
+            y.get(2).unwrap().as_float().unwrap()
+        );
+    }
+}
