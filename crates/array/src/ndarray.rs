@@ -50,7 +50,7 @@ pub struct NdArray {
 impl NdArray {
     /// Creates an array from raw little-endian `data`.
     pub fn new(dims: Vec<usize>, elem: ElemType, data: Vec<u8>) -> Result<Self> {
-        if dims.is_empty() || dims.iter().any(|&d| d == 0) {
+        if dims.is_empty() || dims.contains(&0) {
             return Err(ArrayError::BadShape(dims));
         }
         let expected = dims.iter().product::<usize>() * elem.size();
@@ -62,7 +62,7 @@ impl NdArray {
 
     /// Creates a zero-filled array.
     pub fn zeros(dims: Vec<usize>, elem: ElemType) -> Result<Self> {
-        if dims.is_empty() || dims.iter().any(|&d| d == 0) {
+        if dims.is_empty() || dims.contains(&0) {
             return Err(ArrayError::BadShape(dims));
         }
         let len = dims.iter().product::<usize>() * elem.size();
@@ -276,14 +276,8 @@ mod tests {
 
     #[test]
     fn rejects_bad_shapes() {
-        assert!(matches!(
-            NdArray::zeros(vec![], ElemType::U8),
-            Err(ArrayError::BadShape(_))
-        ));
-        assert!(matches!(
-            NdArray::zeros(vec![4, 0], ElemType::U8),
-            Err(ArrayError::BadShape(_))
-        ));
+        assert!(matches!(NdArray::zeros(vec![], ElemType::U8), Err(ArrayError::BadShape(_))));
+        assert!(matches!(NdArray::zeros(vec![4, 0], ElemType::U8), Err(ArrayError::BadShape(_))));
         assert!(matches!(
             NdArray::new(vec![2, 2], ElemType::U16, vec![0; 7]),
             Err(ArrayError::DataSizeMismatch { expected: 8, got: 7 })

@@ -121,8 +121,7 @@ impl Raster {
     /// Writes pixel (col, row), truncating to the bit depth.
     #[inline]
     pub fn set_pixel(&mut self, col: usize, row: usize, value: u32) -> Result<()> {
-        self.array
-            .set(&[row, col], u64::from(value & self.depth.max_value()))
+        self.array.set(&[row, col], u64::from(value & self.depth.max_value()))
     }
 
     /// World coordinates of the center of pixel (col, row).
@@ -179,21 +178,15 @@ impl Raster {
         let px_w = self.geo.width() / self.width() as f64;
         let px_h = self.geo.height() / self.height() as f64;
         let col0 = (((region.lo.x - self.geo.lo.x) / px_w).floor() as usize).min(self.width() - 1);
-        let col1 = (((region.hi.x - self.geo.lo.x) / px_w).ceil() as usize)
-            .clamp(col0 + 1, self.width());
+        let col1 =
+            (((region.hi.x - self.geo.lo.x) / px_w).ceil() as usize).clamp(col0 + 1, self.width());
         let row0 = (((self.geo.hi.y - region.hi.y) / px_h).floor() as usize).min(self.height() - 1);
-        let row1 = (((self.geo.hi.y - region.lo.y) / px_h).ceil() as usize)
-            .clamp(row0 + 1, self.height());
+        let row1 =
+            (((self.geo.hi.y - region.lo.y) / px_h).ceil() as usize).clamp(row0 + 1, self.height());
         let sub = self.array.subarray(&[row0, col0], &[row1 - row0, col1 - col0])?;
         let geo = Rect::from_corners(
-            Point::new(
-                self.geo.lo.x + col0 as f64 * px_w,
-                self.geo.hi.y - row1 as f64 * px_h,
-            ),
-            Point::new(
-                self.geo.lo.x + col1 as f64 * px_w,
-                self.geo.hi.y - row0 as f64 * px_h,
-            ),
+            Point::new(self.geo.lo.x + col0 as f64 * px_w, self.geo.hi.y - row1 as f64 * px_h),
+            Point::new(self.geo.lo.x + col1 as f64 * px_w, self.geo.hi.y - row0 as f64 * px_h),
         )
         .expect("pixel-aligned geo rect");
         Ok(Raster { depth: self.depth, geo, array: sub, mask: None })
@@ -226,11 +219,9 @@ impl Raster {
                 let valid = poly.contains_point(&out.pixel_center(col, row)) || {
                     let x0 = out.geo.lo.x + col as f64 * px_w;
                     let y1 = out.geo.hi.y - row as f64 * px_h;
-                    let prect = Rect::from_corners(
-                        Point::new(x0, y1 - px_h),
-                        Point::new(x0 + px_w, y1),
-                    )
-                    .expect("pixel rect");
+                    let prect =
+                        Rect::from_corners(Point::new(x0, y1 - px_h), Point::new(x0 + px_w, y1))
+                            .expect("pixel rect");
                     poly.overlaps_rect(&prect)
                 };
                 if valid {
@@ -289,7 +280,7 @@ impl Raster {
                         }
                     }
                 }
-                let v = if n == 0 { 0 } else { (sum / n) as u32 };
+                let v = sum.checked_div(n).unwrap_or(0) as u32;
                 out.set_pixel(ocol, orow, v)?;
             }
         }
@@ -316,7 +307,7 @@ impl Raster {
                         n += 1;
                     }
                 }
-                let v = if n == 0 { 0 } else { (sum / n) as u32 };
+                let v = sum.checked_div(n).unwrap_or(0) as u32;
                 out.set_pixel(col, row, v)?;
             }
         }
@@ -421,12 +412,9 @@ mod tests {
     fn polygon_clip_masks_outside_pixels() {
         let r = gradient();
         // Triangle over the lower-left quadrant.
-        let tri = Polygon::new(vec![
-            Point::new(0.0, 0.0),
-            Point::new(50.0, 0.0),
-            Point::new(0.0, 50.0),
-        ])
-        .unwrap();
+        let tri =
+            Polygon::new(vec![Point::new(0.0, 0.0), Point::new(50.0, 0.0), Point::new(0.0, 50.0)])
+                .unwrap();
         let c = r.clip(&tri).unwrap();
         assert_eq!(c.width(), 5);
         assert_eq!(c.height(), 5);

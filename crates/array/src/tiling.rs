@@ -39,7 +39,7 @@ impl TilingScheme {
     /// size: `t_i ≈ d_i · (target_elems / total_elems)^(1/N)`, clamped to
     /// `1..=d_i`.
     pub fn new(dims: &[usize], elem: ElemType, target_bytes: usize) -> Result<Self> {
-        if dims.is_empty() || dims.iter().any(|&d| d == 0) {
+        if dims.is_empty() || dims.contains(&0) {
             return Err(ArrayError::BadShape(dims.to_vec()));
         }
         let total_elems: usize = dims.iter().product();
@@ -49,15 +49,10 @@ impl TilingScheme {
         } else {
             (target_elems as f64 / total_elems as f64).powf(1.0 / dims.len() as f64)
         };
-        let tile_shape: Vec<usize> = dims
-            .iter()
-            .map(|&d| (((d as f64) * scale).round() as usize).clamp(1, d))
-            .collect();
-        let tiles_per_dim: Vec<usize> = dims
-            .iter()
-            .zip(&tile_shape)
-            .map(|(&d, &t)| d.div_ceil(t))
-            .collect();
+        let tile_shape: Vec<usize> =
+            dims.iter().map(|&d| (((d as f64) * scale).round() as usize).clamp(1, d)).collect();
+        let tiles_per_dim: Vec<usize> =
+            dims.iter().zip(&tile_shape).map(|(&d, &t)| d.div_ceil(t)).collect();
         Ok(TilingScheme { dims: dims.to_vec(), elem, tile_shape, tiles_per_dim })
     }
 
@@ -116,11 +111,7 @@ impl TilingScheme {
     /// smaller when the dimension is not divisible).
     pub fn tile_region(&self, index: usize) -> (Vec<usize>, Vec<usize>) {
         let coord = self.tile_coord(index);
-        let lo: Vec<usize> = coord
-            .iter()
-            .zip(&self.tile_shape)
-            .map(|(&c, &t)| c * t)
-            .collect();
+        let lo: Vec<usize> = coord.iter().zip(&self.tile_shape).map(|(&c, &t)| c * t).collect();
         let shape: Vec<usize> = lo
             .iter()
             .zip(&self.tile_shape)
@@ -139,10 +130,7 @@ impl TilingScheme {
         }
         // Clamp the query region to the array bounds.
         let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(self.dims.len());
-        for ((&l, &s), (&d, &t)) in lo
-            .iter()
-            .zip(shape)
-            .zip(self.dims.iter().zip(&self.tile_shape))
+        for ((&l, &s), (&d, &t)) in lo.iter().zip(shape).zip(self.dims.iter().zip(&self.tile_shape))
         {
             if s == 0 || l >= d {
                 return Ok(Vec::new());

@@ -1,10 +1,11 @@
 //! Ablation of the Q12 spatial semi-join (Figure 3.1): the closest join
 //! with and without the semi-join's broadcast avoidance.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paradise::queries;
+use paradise_bench::harness::{BenchmarkId, Criterion};
+use paradise_bench::{criterion_group, criterion_main};
 use paradise_bench::{setup_db, BenchConfig};
 use paradise_datagen::tables::{World, WorldSpec, LARGE_CITY};
-use paradise::queries;
 
 fn bench_closest(c: &mut Criterion) {
     let mut cfg = BenchConfig::new(8, 1);

@@ -2,7 +2,8 @@
 //! but replicate more spanning tuples. Measures the replication factor and
 //! the routing cost as the tile count grows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paradise_bench::harness::{BenchmarkId, Criterion};
+use paradise_bench::{criterion_group, criterion_main};
 use paradise_geom::{Grid, Point, Rect};
 
 fn shapes(n: usize) -> Vec<Rect> {
@@ -29,17 +30,9 @@ fn bench_decluster(c: &mut Criterion) {
     for tiles in [16u32, 64, 256, 1024, 4096, 16384] {
         let grid = Grid::with_tile_count(world, tiles).unwrap();
         let copies: usize = data.iter().map(|r| grid.tile_ids_for_rect(r).len()).sum();
-        println!(
-            "  {:>6} tiles: {:.4}x",
-            grid.num_tiles(),
-            copies as f64 / data.len() as f64
-        );
+        println!("  {:>6} tiles: {:.4}x", grid.num_tiles(), copies as f64 / data.len() as f64);
         g.bench_with_input(BenchmarkId::new("route", tiles), &grid, |b, grid| {
-            b.iter(|| {
-                data.iter()
-                    .map(|r| grid.tile_ids_for_rect(r).len())
-                    .sum::<usize>()
-            })
+            b.iter(|| data.iter().map(|r| grid.tile_ids_for_rect(r).len()).sum::<usize>())
         });
     }
     g.finish();

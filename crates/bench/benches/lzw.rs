@@ -1,8 +1,9 @@
 //! LZW compression micro-benchmarks (paper §2.5.1): raster-like smooth
 //! data vs incompressible noise, and the adaptive `maybe_compress` flag.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use paradise_array::lzw;
+use paradise_bench::harness::{BenchmarkId, Criterion, Throughput};
+use paradise_bench::{criterion_group, criterion_main};
 
 fn smooth_tile(len: usize) -> Vec<u8> {
     (0..len).map(|i| ((i / 64) % 251) as u8).collect()

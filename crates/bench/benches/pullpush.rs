@@ -2,8 +2,9 @@
 //! tiles a clip needs (pull) vs shipping the whole raster (push), for
 //! clip regions of growing size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use paradise_array::{BitDepth, Raster};
+use paradise_bench::harness::{BenchmarkId, Criterion};
+use paradise_bench::{criterion_group, criterion_main};
 use paradise_exec::cluster::{Cluster, ClusterConfig};
 use paradise_exec::raster_store;
 use paradise_geom::{Point, Rect};
@@ -26,19 +27,14 @@ fn bench_pullpush(c: &mut Criterion) {
         let rows = (256 * pct / 100).max(1);
         let cols = (512 * pct / 100).max(1);
         g.bench_with_input(BenchmarkId::new("pull_tiles", pct), &pct, |b, _| {
-            b.iter(|| {
-                raster_store::fetch_region(&cluster, 1, &sr, 0, rows, 0, cols).unwrap()
-            })
+            b.iter(|| raster_store::fetch_region(&cluster, 1, &sr, 0, rows, 0, cols).unwrap())
         });
         g.bench_with_input(BenchmarkId::new("push_whole", pct), &pct, |b, _| {
             b.iter(|| {
                 // Push model: materialise the whole raster at the consumer,
                 // then cut the region out locally.
                 let whole = raster_store::fetch_whole(&cluster, 1, &sr).unwrap();
-                whole
-                    .array()
-                    .subarray(&[0, 0], &[rows as usize, cols as usize])
-                    .unwrap()
+                whole.array().subarray(&[0, 0], &[rows as usize, cols as usize]).unwrap()
             })
         });
     }

@@ -2,8 +2,9 @@
 //! Q6 spatial selection, Q8 indexed NL join, Q13 spatial join) over a
 //! small loaded world.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use paradise::queries;
+use paradise_bench::harness::Criterion;
+use paradise_bench::{criterion_group, criterion_main};
 use paradise_bench::{setup_db, BenchConfig};
 use paradise_datagen::tables::{self, World, WorldSpec, OIL_FIELD, QUERY_CHANNEL};
 use paradise_geom::Point;
@@ -37,9 +38,7 @@ fn bench_queries(c: &mut Criterion) {
     g.bench_function("q11_closest_aggregate", |b| {
         b.iter(|| queries::q11(&db, Point::new(-89.4, 43.1)).unwrap().rows.len())
     });
-    g.bench_function("q13_spatial_join", |b| {
-        b.iter(|| queries::q13(&db).unwrap().rows.len())
-    });
+    g.bench_function("q13_spatial_join", |b| b.iter(|| queries::q13(&db).unwrap().rows.len()));
     g.finish();
 }
 

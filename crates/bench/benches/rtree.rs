@@ -2,7 +2,8 @@
 //! reinsertion) vs STR bulk loading, and window searches — the paper notes
 //! bulk loading packs indexes better (§3.3 Q5–Q8 discussion).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paradise_bench::harness::{BenchmarkId, Criterion};
+use paradise_bench::{criterion_group, criterion_main};
 use paradise_geom::{Point, Rect};
 use paradise_storage::RTree;
 

@@ -2,7 +2,8 @@
 //! indexed nested loops with an R*-tree vs naive nested loops, on two sets
 //! of polyline bounding boxes with exact refinement.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paradise_bench::harness::{BenchmarkId, Criterion};
+use paradise_bench::{criterion_group, criterion_main};
 use paradise_exec::cluster::{Cluster, ClusterConfig};
 use paradise_exec::ops::spatial_join::local_tile_join;
 use paradise_exec::tuple::Tuple;

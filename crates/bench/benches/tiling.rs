@@ -1,8 +1,9 @@
 //! Figure 2.3 pipeline: chunking an array into tiles (+ adaptive per-tile
 //! compression) and tile-granular region reads vs whole-array assembly.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use paradise_array::{ElemType, NdArray, TileMap};
+use paradise_bench::harness::{BenchmarkId, Criterion, Throughput};
+use paradise_bench::{criterion_group, criterion_main};
 
 fn raster_like(h: usize, w: usize) -> NdArray {
     let mut a = NdArray::zeros(vec![h, w], ElemType::U16).unwrap();

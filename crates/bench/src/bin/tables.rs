@@ -13,7 +13,9 @@
 //! (which queries scale, which saturate, where declustering helps) is the
 //! reproduction target. The paper's numbers are printed alongside.
 
-use paradise_bench::{build_world, run_decluster_suite, run_suite, setup_db, BenchConfig, QueryRow};
+use paradise_bench::{
+    build_world, run_decluster_suite, run_suite, setup_db, BenchConfig, QueryRow,
+};
 use paradise_datagen::tables::World;
 
 const NODE_COUNTS: [usize; 3] = [4, 8, 16];
@@ -53,11 +55,8 @@ const PAPER_SPEEDUP: [(&str, [f64; 3]); 13] = [
 ];
 
 /// Paper Table 3.5 (seconds): (query, with declustering, without).
-const PAPER_DECLUSTER: [(&str, f64, f64); 3] = [
-    ("Query 2", 336.6, 112.9),
-    ("Query 3", 15.3, 21.68),
-    ("Query 3'", 53.5, 417.8),
-];
+const PAPER_DECLUSTER: [(&str, f64, f64); 3] =
+    [("Query 2", 336.6, 112.9), ("Query 3", 15.3, 21.68), ("Query 3'", 53.5, 417.8)];
 
 fn world_sizes(world: &World) -> Vec<(String, usize, usize)> {
     let vec_bytes = |ts: &[paradise_exec::Tuple]| ts.iter().map(|t| t.encode().len()).sum();
@@ -110,11 +109,7 @@ fn table_33(shrink: usize, seed: u64) {
     }
 }
 
-fn print_time_table(
-    title: &str,
-    ours: &[Vec<QueryRow>; 3],
-    paper: &[(&str, [f64; 3]); 13],
-) {
+fn print_time_table(title: &str, ours: &[Vec<QueryRow>; 3], paper: &[(&str, [f64; 3]); 13]) {
     println!("\n=== {title} ===");
     println!(
         "{:<10}{:>12}{:>12}{:>12}   |{:>10}{:>10}{:>10}",
@@ -166,10 +161,8 @@ fn table_35(shrink: usize, seed: u64) {
         cfg.shrink = shrink;
         cfg.seed = seed;
         cfg.decluster_rasters = decl;
-        cfg.base_dir = std::env::temp_dir().join(format!(
-            "paradise-bench-{}-t35-{decl}",
-            std::process::id()
-        ));
+        cfg.base_dir =
+            std::env::temp_dir().join(format!("paradise-bench-{}-t35-{decl}", std::process::id()));
         eprintln!("[tables] Table 3.5, decluster={decl} …");
         let world = build_world(&cfg);
         let db = setup_db(&cfg, &world);
@@ -196,9 +189,7 @@ fn table_35(shrink: usize, seed: u64) {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let get = |flag: &str| -> Option<String> {
-        args.iter()
-            .position(|a| a == flag)
-            .and_then(|i| args.get(i + 1).cloned())
+        args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
     };
     let table = get("--table").unwrap_or_else(|| "all".to_string());
     let shrink: usize = get("--shrink").and_then(|s| s.parse().ok()).unwrap_or(2000);

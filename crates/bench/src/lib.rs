@@ -4,6 +4,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod harness;
+
 use paradise::queries;
 use paradise::{Paradise, ParadiseConfig, QueryResult};
 use paradise_datagen::tables::{
@@ -40,10 +42,8 @@ impl BenchConfig {
             shrink: 2000,
             seed: 42,
             decluster_rasters: false,
-            base_dir: std::env::temp_dir().join(format!(
-                "paradise-bench-{}-n{nodes}-s{scale}",
-                std::process::id()
-            )),
+            base_dir: std::env::temp_dir()
+                .join(format!("paradise-bench-{}-n{nodes}-s{scale}", std::process::id())),
         }
     }
 }
@@ -80,9 +80,7 @@ pub fn setup_db(cfg: &BenchConfig, world: &World) -> Paradise {
     )
     .expect("create cluster");
     db.define_table(
-        raster_table()
-            .with_tile_bytes(4096)
-            .with_raster_decluster(cfg.decluster_rasters),
+        raster_table().with_tile_bytes(4096).with_raster_decluster(cfg.decluster_rasters),
     );
     db.define_table(populated_places_table());
     db.define_table(roads_table());
@@ -90,8 +88,7 @@ pub fn setup_db(cfg: &BenchConfig, world: &World) -> Paradise {
     db.define_table(land_cover_table());
 
     db.load_table("raster", world.rasters.iter().cloned()).expect("load rasters");
-    db.load_table("populatedPlaces", world.populated_places.iter().cloned())
-        .expect("load places");
+    db.load_table("populatedPlaces", world.populated_places.iter().cloned()).expect("load places");
     db.load_table("roads", world.roads.iter().cloned()).expect("load roads");
     db.load_table("drainage", world.drainage.iter().cloned()).expect("load drainage");
     db.load_table("landCover", world.land_cover.iter().cloned()).expect("load landCover");
@@ -133,35 +130,21 @@ pub fn run_suite(db: &Paradise, cfg: &BenchConfig) -> Vec<QueryRow> {
     let us = tables::us_polygon();
     let d = tables::query_date();
     let mut rows = Vec::new();
-    rows.push(measure(db, "Query 2", || {
-        queries::q2(db, QUERY_CHANNEL, &us).expect("q2")
-    }));
+    rows.push(measure(db, "Query 2", || queries::q2(db, QUERY_CHANNEL, &us).expect("q2")));
     rows.push(measure(db, "Query 3", || {
         queries::q3(db, d, &us, cfg.decluster_rasters).expect("q3")
     }));
-    rows.push(measure(db, "Query 4", || {
-        queries::q4(db, d, QUERY_CHANNEL, &us, 8).expect("q4")
-    }));
+    rows.push(measure(db, "Query 4", || queries::q4(db, d, QUERY_CHANNEL, &us, 8).expect("q4")));
     rows.push(measure(db, "Query 5", || queries::q5(db, "Phoenix").expect("q5")));
     rows.push(measure(db, "Query 6", || queries::q6(db, &us).expect("q6")));
     rows.push(measure(db, "Query 7", || {
         queries::q7(db, Point::new(-90.0, 40.0), 25.0, 3.0).expect("q7")
     }));
-    rows.push(measure(db, "Query 8", || {
-        queries::q8(db, "Louisville", 8.0).expect("q8")
-    }));
-    rows.push(measure(db, "Query 9", || {
-        queries::q9(db, d, QUERY_CHANNEL, OIL_FIELD).expect("q9")
-    }));
-    rows.push(measure(db, "Query 10", || {
-        queries::q10(db, &us, 25_000.0).expect("q10")
-    }));
-    rows.push(measure(db, "Query 11", || {
-        queries::q11(db, Point::new(-89.4, 43.1)).expect("q11")
-    }));
-    rows.push(measure(db, "Query 12", || {
-        queries::q12(db, LARGE_CITY, true).expect("q12")
-    }));
+    rows.push(measure(db, "Query 8", || queries::q8(db, "Louisville", 8.0).expect("q8")));
+    rows.push(measure(db, "Query 9", || queries::q9(db, d, QUERY_CHANNEL, OIL_FIELD).expect("q9")));
+    rows.push(measure(db, "Query 10", || queries::q10(db, &us, 25_000.0).expect("q10")));
+    rows.push(measure(db, "Query 11", || queries::q11(db, Point::new(-89.4, 43.1)).expect("q11")));
+    rows.push(measure(db, "Query 12", || queries::q12(db, LARGE_CITY, true).expect("q12")));
     rows.push(measure(db, "Query 13", || queries::q13(db).expect("q13")));
     rows.push(measure(db, "Query 14", || {
         let lo = d;
@@ -176,14 +159,8 @@ pub fn run_decluster_suite(db: &Paradise, cfg: &BenchConfig) -> Vec<QueryRow> {
     let us = tables::us_polygon();
     let d = tables::query_date();
     vec![
-        measure(db, "Query 2", || {
-            queries::q2(db, QUERY_CHANNEL, &us).expect("q2")
-        }),
-        measure(db, "Query 3", || {
-            queries::q3(db, d, &us, cfg.decluster_rasters).expect("q3")
-        }),
-        measure(db, "Query 3'", || {
-            queries::q3_prime(db, d, cfg.decluster_rasters).expect("q3'")
-        }),
+        measure(db, "Query 2", || queries::q2(db, QUERY_CHANNEL, &us).expect("q2")),
+        measure(db, "Query 3", || queries::q3(db, d, &us, cfg.decluster_rasters).expect("q3")),
+        measure(db, "Query 3'", || queries::q3_prime(db, d, cfg.decluster_rasters).expect("q3'")),
     ]
 }

@@ -1,13 +1,25 @@
 //! The [`Paradise`] facade: cluster + catalog + query entry points.
 
 use crate::Result;
-use paradise_exec::cluster::{Cluster, ClusterConfig};
+use paradise_exec::cluster::{Cluster, ClusterConfig, Transport};
 use paradise_exec::metrics::QueryMetrics;
 use paradise_exec::ops::aggregate::AggRegistry;
 use paradise_exec::{ExecError, TableDef, Tuple};
 use paradise_geom::{Point, Rect};
 use std::collections::HashMap;
 use std::path::PathBuf;
+
+/// Which transport carries cross-node tuples and tile pulls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// In-process bounded channels (the default).
+    #[default]
+    Local,
+    /// Real TCP data servers with the `paradise-net` wire protocol and
+    /// credit-based flow control (one loopback server per node plus the
+    /// QC endpoint).
+    Tcp,
+}
 
 /// Construction parameters for a Paradise instance.
 #[derive(Debug, Clone)]
@@ -25,6 +37,8 @@ pub struct ParadiseConfig {
     /// Simulated cost per remote tile pull (see
     /// [`paradise_exec::cluster::ClusterConfig::pull_cost`]).
     pub pull_cost: std::time::Duration,
+    /// How cross-node traffic moves (`Local` channels or real `Tcp`).
+    pub transport: TransportKind,
 }
 
 impl ParadiseConfig {
@@ -39,6 +53,7 @@ impl ParadiseConfig {
             universe: Rect::from_corners(Point::new(-180.0, -90.0), Point::new(180.0, 90.0))
                 .expect("valid universe"),
             pull_cost: std::time::Duration::from_micros(5),
+            transport: TransportKind::Local,
         }
     }
 
@@ -51,6 +66,12 @@ impl ParadiseConfig {
     /// Overrides the per-node buffer-pool size.
     pub fn with_pool_pages(mut self, pages: usize) -> Self {
         self.pool_pages = pages;
+        self
+    }
+
+    /// Selects the cross-node transport.
+    pub fn with_transport(mut self, transport: TransportKind) -> Self {
+        self.transport = transport;
         self
     }
 }
@@ -76,9 +97,12 @@ pub struct Paradise {
 }
 
 impl Paradise {
-    /// Creates a fresh instance (wiping `base_dir`).
+    /// Creates a fresh instance (wiping `base_dir`). With
+    /// [`TransportKind::Tcp`] this also starts the cluster's data servers
+    /// (one loopback listener per node plus the QC endpoint) and routes
+    /// all cross-node streams and tile pulls through them.
     pub fn create(cfg: ParadiseConfig) -> Result<Paradise> {
-        let cluster = Cluster::create(&ClusterConfig {
+        let mut cluster = Cluster::create(&ClusterConfig {
             nodes: cfg.nodes,
             pool_pages: cfg.pool_pages,
             grid_tiles: cfg.grid_tiles,
@@ -86,11 +110,11 @@ impl Paradise {
             base_dir: cfg.base_dir,
             pull_cost: cfg.pull_cost,
         })?;
-        Ok(Paradise {
-            cluster,
-            tables: HashMap::new(),
-            aggregates: AggRegistry::with_builtins(),
-        })
+        if cfg.transport == TransportKind::Tcp {
+            let t = paradise_net::TcpTransport::serve(cluster.nodes())?;
+            cluster.set_transport(Transport::Tcp(t));
+        }
+        Ok(Paradise { cluster, tables: HashMap::new(), aggregates: AggRegistry::with_builtins() })
     }
 
     /// The underlying cluster.
@@ -105,9 +129,7 @@ impl Paradise {
 
     /// Looks up a table definition.
     pub fn table(&self, name: &str) -> Result<&TableDef> {
-        self.tables
-            .get(name)
-            .ok_or_else(|| ExecError::NotFound(format!("table {name}")))
+        self.tables.get(name).ok_or_else(|| ExecError::NotFound(format!("table {name}")))
     }
 
     /// Defined table names.
@@ -174,9 +196,7 @@ mod tests {
             Schema::new(vec![Field::new("x", DataType::Int)]),
             Decluster::RoundRobin,
         ));
-        let stats = db
-            .load_table("t", (0..10).map(|i| Tuple::new(vec![Value::Int(i)])))
-            .unwrap();
+        let stats = db.load_table("t", (0..10).map(|i| Tuple::new(vec![Value::Int(i)]))).unwrap();
         assert_eq!(stats.input_tuples, 10);
         assert!(db.table("t").is_ok());
         assert!(db.table("missing").is_err());

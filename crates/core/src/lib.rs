@@ -32,11 +32,12 @@ pub mod db;
 pub mod queries;
 pub mod sql_exec;
 
-pub use db::{Paradise, ParadiseConfig, QueryResult};
+pub use db::{Paradise, ParadiseConfig, QueryResult, TransportKind};
 
 pub use paradise_array as array;
 pub use paradise_exec as exec;
 pub use paradise_geom as geom;
+pub use paradise_net as net;
 pub use paradise_sql as sql;
 pub use paradise_storage as storage;
 

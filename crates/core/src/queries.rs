@@ -17,6 +17,7 @@
 use crate::db::{Paradise, QueryResult};
 use crate::Result;
 use paradise_array::Raster;
+use paradise_exec::cluster::NetSnapshot;
 use paradise_exec::metrics::QueryMetrics;
 use paradise_exec::ops::basic::sort_by_col;
 use paradise_exec::ops::closest::{closest_join, ClosestResult};
@@ -55,26 +56,33 @@ pub const LC_TYPE: usize = 1;
 /// `landCover.shape` column.
 pub const LC_SHAPE: usize = 2;
 
-fn finish(mut metrics: QueryMetrics, columns: &[&str], rows: Vec<Tuple>, t0: Instant) -> QueryResult {
+/// Seals a query's metrics: wall clock plus the network traffic the query
+/// caused (the delta over `net0`). Accounting happens at the stream/
+/// transport choke point, so these numbers are identical for `Local` and
+/// `Tcp` transports running the same plan.
+fn finish(
+    db: &Paradise,
+    net0: NetSnapshot,
+    mut metrics: QueryMetrics,
+    columns: &[&str],
+    rows: Vec<Tuple>,
+    t0: Instant,
+) -> QueryResult {
+    let d = db.cluster().net.since(net0);
+    metrics.net_bytes = d.bytes;
+    metrics.net_tuples = d.tuples;
+    metrics.pulls = d.pulls;
+    metrics.pull_bytes = d.pull_bytes;
     metrics.wall = t0.elapsed();
-    QueryResult {
-        columns: columns.iter().map(|s| s.to_string()).collect(),
-        rows,
-        metrics,
-    }
+    QueryResult { columns: columns.iter().map(|s| s.to_string()).collect(), rows, metrics }
 }
 
-/// Ships per-node result rows to the query coordinator, charging network
-/// traffic for every row (the QC is its own process, Figure 2.1).
-fn collect_rows(db: &Paradise, per_node: Vec<Vec<Tuple>>) -> Vec<Tuple> {
-    let mut out = Vec::new();
-    for rows in per_node {
-        for t in rows {
-            db.cluster().net.ship(t.wire_size());
-            out.push(t);
-        }
-    }
-    out
+/// Ships per-node result rows to the query coordinator over the cluster's
+/// active transport, charging network traffic for every row (the QC is its
+/// own process, Figure 2.1). Over `Transport::Tcp` the rows really cross
+/// sockets; accounting is identical either way.
+fn collect_rows(db: &Paradise, per_node: Vec<Vec<Tuple>>) -> Result<Vec<Tuple>> {
+    db.cluster().collect_to_coordinator(per_node)
 }
 
 fn stored_raster(t: &Tuple, col: usize) -> Result<&StoredRaster> {
@@ -90,6 +98,7 @@ fn stored_raster(t: &Tuple, col: usize) -> Result<&StoredRaster> {
 pub fn q2(db: &Paradise, channel: i64, clip: &Polygon) -> Result<QueryResult> {
     let t0 = Instant::now();
     let mut m = QueryMetrics::default();
+    let net0 = db.cluster().net.snapshot();
     let raster = db.table("raster")?;
     let per_node = run_phase(db.cluster(), &mut m, "scan + clip rasters", |node| {
         let mut rows = Vec::new();
@@ -108,9 +117,9 @@ pub fn q2(db: &Paradise, channel: i64, clip: &Polygon) -> Result<QueryResult> {
         })?;
         Ok(rows)
     })?;
-    let rows = collect_rows(db, per_node);
+    let rows = collect_rows(db, per_node)?;
     let rows = run_sequential(&mut m, || sort_by_col(rows, 0))?;
-    Ok(finish(m, &["date", "clip"], rows, t0))
+    Ok(finish(db, net0, m, &["date", "clip"], rows, t0))
 }
 
 /// **Q3** — "Select all the raster images for a particular date, clipping
@@ -130,6 +139,7 @@ pub fn q3(
 ) -> Result<QueryResult> {
     let t0 = Instant::now();
     let mut m = QueryMetrics::default();
+    let net0 = db.cluster().net.snapshot();
     let raster = db.table("raster")?;
 
     // Locate the matching rasters (metadata only — cheap).
@@ -145,7 +155,7 @@ pub fn q3(
     })?;
     let srs: Vec<StoredRaster> = located.into_iter().flatten().collect();
     if srs.is_empty() {
-        return Ok(finish(m, &["average"], Vec::new(), t0));
+        return Ok(finish(db, net0, m, &["average"], Vec::new(), t0));
     }
 
     let result: Raster = if !declustered_rasters {
@@ -167,7 +177,7 @@ pub fn q3(
         // contributed, independent of the node count.
         let sr0 = &srs[0];
         let Some((r0, r1, c0, c1)) = raster_store::pixel_region(sr0, &clip.bbox()) else {
-            return Ok(finish(m, &["average"], Vec::new(), t0));
+            return Ok(finish(db, net0, m, &["average"], Vec::new(), t0));
         };
         let (h, w) = ((r1 - r0) as usize, (c1 - c0) as usize);
         /// One node's contribution: a sub-rectangle of per-pixel sums.
@@ -228,12 +238,13 @@ pub fn q3(
                     }
                 }
             }
-            let mut out = Raster::new(w, h, sr0.depth, raster_store::geo_of_region(sr0, r0, r1, c0, c1))?;
+            let mut out =
+                Raster::new(w, h, sr0.depth, raster_store::geo_of_region(sr0, r0, r1, c0, c1))?;
             for row in 0..h {
                 for col in 0..w {
                     let off = row * w + col;
                     let n = u64::from(counts[off]);
-                    out.set_pixel(col, row, if n == 0 { 0 } else { (sums[off] / n) as u32 })?;
+                    out.set_pixel(col, row, sums[off].checked_div(n).unwrap_or(0) as u32)?;
                 }
             }
             Ok(out)
@@ -241,7 +252,7 @@ pub fn q3(
     };
 
     let rows = vec![Tuple::new(vec![Value::Raster(RasterValue::Mem(Arc::new(result)))])];
-    Ok(finish(m, &["average"], rows, t0))
+    Ok(finish(db, net0, m, &["average"], rows, t0))
 }
 
 /// **Q4** — select one raster by date + channel, clip, `lower_res(8)`, and
@@ -256,12 +267,12 @@ pub fn q4(
 ) -> Result<QueryResult> {
     let t0 = Instant::now();
     let mut m = QueryMetrics::default();
+    let net0 = db.cluster().net.snapshot();
     let raster = db.table("raster")?;
     let per_node = run_phase(db.cluster(), &mut m, "select + clip + lower_res", |node| {
         let mut rows = Vec::new();
         raster.scan_fragment(db.cluster(), node, |_, t| {
-            if t.get(RASTER_DATE)?.as_date()? != date
-                || t.get(RASTER_CHANNEL)?.as_int()? != channel
+            if t.get(RASTER_DATE)?.as_date()? != date || t.get(RASTER_CHANNEL)?.as_int()? != channel
             {
                 return Ok(());
             }
@@ -278,7 +289,7 @@ pub fn q4(
         })?;
         Ok(rows)
     })?;
-    let rows = collect_rows(db, per_node);
+    let rows = collect_rows(db, per_node)?;
     // Copy-on-insert into a permanent result relation, then clean it up.
     let result_table = paradise_exec::TableDef::new(
         &db.cluster().fresh_temp_name("q4_result"),
@@ -290,25 +301,31 @@ pub fn q4(
         Ok(())
     })?;
     result_table.drop_table(db.cluster())?;
-    Ok(finish(m, &["date", "channel", "lowres"], rows, t0))
+    Ok(finish(db, net0, m, &["date", "channel", "lowres"], rows, t0))
 }
 
 /// **Q5** — "Select one city based on the city's name" (B+-tree probe).
 pub fn q5(db: &Paradise, name: &str) -> Result<QueryResult> {
     let t0 = Instant::now();
     let mut m = QueryMetrics::default();
+    let net0 = db.cluster().net.snapshot();
     let pp = db.table("populatedPlaces")?;
     let per_node = run_phase(db.cluster(), &mut m, "index probe", |node| {
         pp.btree_probe(db.cluster(), node, PP_NAME, &Value::Str(name.to_string()))
     })?;
-    let rows = collect_rows(db, per_node);
-    Ok(finish(m, &["id", "containing_face", "type", "location", "name"], rows, t0))
+    let rows = collect_rows(db, per_node)?;
+    Ok(finish(db, net0, m, &["id", "containing_face", "type", "location", "name"], rows, t0))
 }
 
 /// Reference-point duplicate elimination for replicated spatial tuples: a
 /// replica participates on the node owning the tile of `probe ∩ bbox`'s
 /// lower-left corner.
-fn owns_ref_point(db: &Paradise, node: NodeId, a: &paradise_geom::Rect, b: &paradise_geom::Rect) -> bool {
+fn owns_ref_point(
+    db: &Paradise,
+    node: NodeId,
+    a: &paradise_geom::Rect,
+    b: &paradise_geom::Rect,
+) -> bool {
     match a.intersection(b) {
         Some(ix) => {
             let tile = db.cluster().grid().tile_of_point(&ix.lo);
@@ -324,6 +341,7 @@ fn owns_ref_point(db: &Paradise, node: NodeId, a: &paradise_geom::Rect, b: &para
 pub fn q6(db: &Paradise, region: &Polygon) -> Result<QueryResult> {
     let t0 = Instant::now();
     let mut m = QueryMetrics::default();
+    let net0 = db.cluster().net.snapshot();
     let lc = db.table("landCover")?;
     let bbox = region.bbox();
     let per_node = run_phase(db.cluster(), &mut m, "spatial index selection", |node| {
@@ -342,7 +360,7 @@ pub fn q6(db: &Paradise, region: &Polygon) -> Result<QueryResult> {
         }
         Ok(rows)
     })?;
-    let rows = collect_rows(db, per_node);
+    let rows = collect_rows(db, per_node)?;
     // Insert into a permanent relation (then drop — benchmark hygiene).
     let result_table = paradise_exec::TableDef::new(
         &db.cluster().fresh_temp_name("q6_result"),
@@ -354,7 +372,7 @@ pub fn q6(db: &Paradise, region: &Polygon) -> Result<QueryResult> {
         Ok(())
     })?;
     result_table.drop_table(db.cluster())?;
-    Ok(finish(m, &["id", "type", "shape"], rows, t0))
+    Ok(finish(db, net0, m, &["id", "type", "shape"], rows, t0))
 }
 
 /// **Q7** — polygons within a radius of a point with a bounded area
@@ -362,6 +380,7 @@ pub fn q6(db: &Paradise, region: &Polygon) -> Result<QueryResult> {
 pub fn q7(db: &Paradise, center: Point, radius: f64, max_area: f64) -> Result<QueryResult> {
     let t0 = Instant::now();
     let mut m = QueryMetrics::default();
+    let net0 = db.cluster().net.snapshot();
     let lc = db.table("landCover")?;
     let circle = Circle::new(center, radius).map_err(ExecError::Geom)?;
     let bbox = circle.bbox();
@@ -377,16 +396,13 @@ pub fn q7(db: &Paradise, center: Point, radius: f64, max_area: f64) -> Result<Qu
                 continue;
             };
             if poly.within_circle(&circle) && poly.area() < max_area {
-                rows.push(Tuple::new(vec![
-                    Value::Float(poly.area()),
-                    t.get(LC_TYPE)?.clone(),
-                ]));
+                rows.push(Tuple::new(vec![Value::Float(poly.area()), t.get(LC_TYPE)?.clone()]));
             }
         }
         Ok(rows)
     })?;
-    let rows = collect_rows(db, per_node);
-    Ok(finish(m, &["area", "type"], rows, t0))
+    let rows = collect_rows(db, per_node)?;
+    Ok(finish(db, net0, m, &["area", "type"], rows, t0))
 }
 
 /// **Q8** — "Find all polygons which are nearby any city named Louisville"
@@ -395,6 +411,7 @@ pub fn q7(db: &Paradise, center: Point, radius: f64, max_area: f64) -> Result<Qu
 pub fn q8(db: &Paradise, city_name: &str, box_len: f64) -> Result<QueryResult> {
     let t0 = Instant::now();
     let mut m = QueryMetrics::default();
+    let net0 = db.cluster().net.snapshot();
     let pp = db.table("populatedPlaces")?;
     let lc = db.table("landCover")?;
     // Outer: the named cities (tiny), via the name index.
@@ -404,10 +421,11 @@ pub fn q8(db: &Paradise, city_name: &str, box_len: f64) -> Result<QueryResult> {
     let boxes: Vec<paradise_geom::Rect> = run_sequential(&mut m, || {
         let mut out = Vec::new();
         for t in cities.into_iter().flatten() {
-            let p = t.get(PP_LOC)?.as_shape()?.as_point().ok_or(ExecError::Type {
-                expected: "point",
-                got: "shape".into(),
-            })?;
+            let p = t
+                .get(PP_LOC)?
+                .as_shape()?
+                .as_point()
+                .ok_or(ExecError::Type { expected: "point", got: "shape".into() })?;
             // Replicating the small outer to every node is network traffic.
             for _ in 0..db.cluster().num_nodes() {
                 db.cluster().net.ship(t.wire_size());
@@ -427,17 +445,14 @@ pub fn q8(db: &Paradise, city_name: &str, box_len: f64) -> Result<QueryResult> {
                 let t = lc.read_tuple(db.cluster(), node, unpack_oid(packed))?;
                 let shape = t.get(LC_SHAPE)?.as_shape()?;
                 if shape.overlaps(&Shape::Rect(*b)) {
-                    rows.push(Tuple::new(vec![
-                        t.get(LC_SHAPE)?.clone(),
-                        t.get(LC_TYPE)?.clone(),
-                    ]));
+                    rows.push(Tuple::new(vec![t.get(LC_SHAPE)?.clone(), t.get(LC_TYPE)?.clone()]));
                 }
             }
         }
         Ok(rows)
     })?;
-    let rows = collect_rows(db, per_node);
-    Ok(finish(m, &["shape", "type"], rows, t0))
+    let rows = collect_rows(db, per_node)?;
+    Ok(finish(db, net0, m, &["shape", "type"], rows, t0))
 }
 
 /// Selects the oil-field polygons and de-duplicates the spatial replicas
@@ -502,6 +517,7 @@ fn q9_q14_impl(
 ) -> Result<QueryResult> {
     let t0 = Instant::now();
     let mut m = QueryMetrics::default();
+    let net0 = db.cluster().net.snapshot();
     let raster = db.table("raster")?;
     let polys = oil_polygons(db, &mut m, oil_type)?;
     // Ship the polygons to every node (replicated small outer).
@@ -541,8 +557,8 @@ fn q9_q14_impl(
         })?;
         Ok(rows)
     })?;
-    let rows = collect_rows(db, per_node);
-    Ok(finish(m, &["shape", "clip"], rows, t0))
+    let rows = collect_rows(db, per_node)?;
+    Ok(finish(db, net0, m, &["shape", "clip"], rows, t0))
 }
 
 /// **Q10** — rasters whose average pixel value over a region exceeds a
@@ -552,6 +568,7 @@ fn q9_q14_impl(
 pub fn q10(db: &Paradise, clip: &Polygon, threshold: f64) -> Result<QueryResult> {
     let t0 = Instant::now();
     let mut m = QueryMetrics::default();
+    let net0 = db.cluster().net.snapshot();
     let raster = db.table("raster")?;
     let op_file = db.cluster().fresh_temp_name("q10_op");
     let per_node = run_phase(db.cluster(), &mut m, "clip + average predicate", |node| {
@@ -585,8 +602,8 @@ pub fn q10(db: &Paradise, clip: &Polygon, threshold: f64) -> Result<QueryResult>
     for n in db.cluster().nodes() {
         n.store.drop_entry(&op_file)?;
     }
-    let rows = collect_rows(db, per_node);
-    Ok(finish(m, &["date", "channel", "clip"], rows, t0))
+    let rows = collect_rows(db, per_node)?;
+    Ok(finish(db, net0, m, &["date", "channel", "clip"], rows, t0))
 }
 
 /// **Q11** — "Find the closest road of each type to a given point": a
@@ -596,10 +613,12 @@ pub fn q10(db: &Paradise, clip: &Polygon, threshold: f64) -> Result<QueryResult>
 pub fn q11(db: &Paradise, point: Point) -> Result<QueryResult> {
     let t0 = Instant::now();
     let mut m = QueryMetrics::default();
+    let net0 = db.cluster().net.snapshot();
     let roads = db.table("roads")?;
     // Phase 1: local "closest" aggregate per road type.
     let partials = run_phase(db.cluster(), &mut m, "local closest per type", |node| {
-        let mut best: std::collections::HashMap<i64, (f64, Tuple)> = std::collections::HashMap::new();
+        let mut best: std::collections::HashMap<i64, (f64, Tuple)> =
+            std::collections::HashMap::new();
         roads.scan_fragment(db.cluster(), node, |_, t| {
             let ty = t.get(LINE_TYPE)?.as_int()?;
             let d = t.get(LINE_SHAPE)?.as_shape()?.distance_to_point(&point);
@@ -613,7 +632,8 @@ pub fn q11(db: &Paradise, point: Point) -> Result<QueryResult> {
     })?;
     // Phase 2: the single global aggregate operator.
     let rows = run_sequential(&mut m, || {
-        let mut merged: std::collections::HashMap<i64, (f64, Tuple)> = std::collections::HashMap::new();
+        let mut merged: std::collections::HashMap<i64, (f64, Tuple)> =
+            std::collections::HashMap::new();
         for (node, partial) in partials.into_iter().enumerate() {
             for (ty, (d, t)) in partial {
                 if node != 0 {
@@ -631,15 +651,11 @@ pub fn q11(db: &Paradise, point: Point) -> Result<QueryResult> {
             .into_iter()
             .map(|ty| {
                 let (d, t) = merged.remove(&ty).expect("present");
-                Tuple::new(vec![
-                    t.values[LINE_SHAPE].clone(),
-                    Value::Int(ty),
-                    Value::Float(d),
-                ])
+                Tuple::new(vec![t.values[LINE_SHAPE].clone(), Value::Int(ty), Value::Float(d)])
             })
             .collect::<Vec<_>>())
     })?;
-    Ok(finish(m, &["closest", "type", "distance"], rows, t0))
+    Ok(finish(db, net0, m, &["closest", "type", "distance"], rows, t0))
 }
 
 /// **Q12** — "Find the closest drainage feature to every large city": the
@@ -649,6 +665,7 @@ pub fn q11(db: &Paradise, point: Point) -> Result<QueryResult> {
 pub fn q12(db: &Paradise, large_city_type: i64, use_semi_join: bool) -> Result<QueryResult> {
     let t0 = Instant::now();
     let mut m = QueryMetrics::default();
+    let net0 = db.cluster().net.snapshot();
     let pp = db.table("populatedPlaces")?;
     let drainage = db.table("drainage")?;
     // Select the large cities from the (spatially declustered) places.
@@ -674,7 +691,7 @@ pub fn q12(db: &Paradise, large_city_type: i64, use_semi_join: bool) -> Result<Q
             ])
         })
         .collect();
-    Ok(finish(m, &["closest", "location", "distance"], rows, t0))
+    Ok(finish(db, net0, m, &["closest", "location", "distance"], rows, t0))
 }
 
 /// **Q13** — "Find all drainage features which cross a road": the parallel
@@ -684,17 +701,13 @@ pub fn q12(db: &Paradise, large_city_type: i64, use_semi_join: bool) -> Result<Q
 pub fn q13(db: &Paradise) -> Result<QueryResult> {
     let t0 = Instant::now();
     let mut m = QueryMetrics::default();
+    let net0 = db.cluster().net.snapshot();
     let drainage = db.table("drainage")?;
     let roads = db.table("roads")?;
     let per_node =
         parallel_spatial_join(db.cluster(), &mut m, drainage, LINE_SHAPE, roads, LINE_SHAPE)?;
-    let rows = collect_rows(db, per_node);
-    Ok(finish(
-        m,
-        &["d_id", "d_type", "d_shape", "r_id", "r_type", "r_shape"],
-        rows,
-        t0,
-    ))
+    let rows = collect_rows(db, per_node)?;
+    Ok(finish(db, net0, m, &["d_id", "d_type", "d_shape", "r_id", "r_type", "r_shape"], rows, t0))
 }
 
 /// Variant of Q2/Q3 used by the §3.5 declustered-raster experiment: Q3
@@ -723,5 +736,5 @@ pub fn hash_repartition(
         })?;
         Ok(msgs)
     })?;
-    Ok(route(db.cluster(), outbox))
+    route(db.cluster(), outbox)
 }

@@ -64,10 +64,9 @@ fn eval_const(e: &Expr) -> Result<Value> {
                     if args.len() == 1 {
                         return match eval_const(&args[0])? {
                             v @ Value::Shape(Shape::Polygon(_) | Shape::Rect(_)) => Ok(v),
-                            other => Err(err(format!(
-                                "{func}() wraps a polygon, got {}",
-                                other.kind()
-                            ))),
+                            other => {
+                                Err(err(format!("{func}() wraps a polygon, got {}", other.kind())))
+                            }
                         };
                     }
                     if args.len() < 6 || args.len() % 2 != 0 {
@@ -77,9 +76,7 @@ fn eval_const(e: &Expr) -> Result<Value> {
                         .chunks(2)
                         .map(|c| Ok(Point::new(const_float(&c[0])?, const_float(&c[1])?)))
                         .collect::<Result<_>>()?;
-                    Ok(Value::Shape(Shape::Polygon(
-                        Polygon::new(pts).map_err(ExecError::Geom)?,
-                    )))
+                    Ok(Value::Shape(Shape::Polygon(Polygon::new(pts).map_err(ExecError::Geom)?)))
                 }
                 "rect" | "box" => {
                     if args.len() != 4 {
@@ -87,8 +84,11 @@ fn eval_const(e: &Expr) -> Result<Value> {
                     }
                     let vals: Vec<f64> = args.iter().map(const_float).collect::<Result<_>>()?;
                     Ok(Value::Shape(Shape::Rect(
-                        Rect::from_corners(Point::new(vals[0], vals[1]), Point::new(vals[2], vals[3]))
-                            .map_err(ExecError::Geom)?,
+                        Rect::from_corners(
+                            Point::new(vals[0], vals[1]),
+                            Point::new(vals[2], vals[3]),
+                        )
+                        .map_err(ExecError::Geom)?,
                     )))
                 }
                 other => Err(err(format!("unknown constructor {other}()"))),
@@ -201,8 +201,8 @@ fn dispatch(db: &Paradise, stmt: &SelectStmt) -> Result<QueryResult> {
 
     // --- raster-only shapes: Q2, Q3, Q4, Q10 -------------------------
     if only("raster") {
-        let date = find_cmp(stmt, "date", BinOp::Eq).map(|e| eval_const(e));
-        let channel = find_cmp(stmt, "channel", BinOp::Eq).map(|e| eval_const(e));
+        let date = find_cmp(stmt, "date", BinOp::Eq).map(eval_const);
+        let channel = find_cmp(stmt, "channel", BinOp::Eq).map(eval_const);
         if proj_has_call(stmt, "average") {
             // Q3: select average(raster.data.clip(P)) … where date = D
             let poly = find_clip_polygon(stmt).ok_or_else(|| err("Q3 needs clip(polygon)"))??;
@@ -220,11 +220,7 @@ fn dispatch(db: &Paradise, stmt: &SelectStmt) -> Result<QueryResult> {
             let factor = find_lower_res_factor(stmt).unwrap_or(8);
             return queries::q4(db, d, ch, &poly, factor);
         }
-        if stmt
-            .where_clause
-            .as_ref()
-            .is_some_and(|w| w.mentions_method("average"))
-        {
+        if stmt.where_clause.as_ref().is_some_and(|w| w.mentions_method("average")) {
             // Q10: where clip(P).average() > C
             let poly = find_clip_polygon(stmt).ok_or_else(|| err("Q10 needs clip(polygon)"))??;
             let threshold = find_average_threshold(stmt)
@@ -433,10 +429,8 @@ fn generic_scan(db: &Paradise, stmt: &SelectStmt) -> Result<QueryResult> {
             let out = match &stmt.projection {
                 Projection::Star => t,
                 Projection::Exprs(exprs) => {
-                    let vals: Vec<Value> = exprs
-                        .iter()
-                        .map(|e| eval_expr(e, &t, &schema))
-                        .collect::<Result<_>>()?;
+                    let vals: Vec<Value> =
+                        exprs.iter().map(|e| eval_expr(e, &t, &schema)).collect::<Result<_>>()?;
                     Tuple::new(vals)
                 }
             };
@@ -544,13 +538,7 @@ fn compare_values(l: &Value, r: &Value) -> Result<std::cmp::Ordering> {
             let (a, b) = (l.as_float()?, r.as_float()?);
             a.partial_cmp(&b).unwrap_or(Ordering::Equal)
         }
-        _ => {
-            return Err(err(format!(
-                "cannot compare {} with {}",
-                l.kind(),
-                r.kind()
-            )))
-        }
+        _ => return Err(err(format!("cannot compare {} with {}", l.kind(), r.kind()))),
     })
 }
 
@@ -614,8 +602,9 @@ mod tests {
         .unwrap();
         assert!(matches!(wrapped, Value::Shape(Shape::Polygon(_))));
         // bad arity
-        assert!(eval_const(&Expr::Call { func: "Polygon".into(), args: vec![Expr::Int(1)] })
-            .is_err());
+        assert!(
+            eval_const(&Expr::Call { func: "Polygon".into(), args: vec![Expr::Int(1)] }).is_err()
+        );
         assert!(eval_const(&Expr::Call { func: "NoSuch".into(), args: vec![] }).is_err());
     }
 

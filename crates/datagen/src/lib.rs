@@ -24,16 +24,14 @@
 pub mod scaleup;
 pub mod tables;
 
-pub use tables::{WorldSpec, World};
+pub use tables::{World, WorldSpec};
 
 use paradise_geom::{Point, Rect};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use paradise_util::Rng as StdRng;
 
 /// The world rectangle used by the benchmark (longitude × latitude).
 pub fn world_rect() -> Rect {
-    Rect::from_corners(Point::new(-180.0, -90.0), Point::new(180.0, 90.0))
-        .expect("valid world")
+    Rect::from_corners(Point::new(-180.0, -90.0), Point::new(180.0, 90.0)).expect("valid world")
 }
 
 /// A seeded RNG for deterministic generation.
@@ -43,8 +41,5 @@ pub fn rng(seed: u64) -> StdRng {
 
 /// A random point in `rect`.
 pub fn random_point(rng: &mut StdRng, rect: &Rect) -> Point {
-    Point::new(
-        rng.gen_range(rect.lo.x..=rect.hi.x),
-        rng.gen_range(rect.lo.y..=rect.hi.y),
-    )
+    Point::new(rng.gen_range(rect.lo.x..=rect.hi.x), rng.gen_range(rect.lo.y..=rect.hi.y))
 }

@@ -18,8 +18,7 @@
 
 use paradise_array::Raster;
 use paradise_geom::{Point, Polygon, Polyline, Rect};
-use rand::rngs::StdRng;
-use rand::Rng;
+use paradise_util::Rng as StdRng;
 
 /// Breaks `extra` randomly chosen edges of a closed ring / open chain in
 /// two by inserting the edge midpoint.
@@ -105,10 +104,7 @@ pub fn scale_point(p: &Point, s: usize, radius: f64, rng: &mut StdRng) -> (Point
     assert!(s >= 1);
     let satellites = (0..s - 1)
         .map(|_| {
-            Point::new(
-                p.x + rng.gen_range(-radius..=radius),
-                p.y + rng.gen_range(-radius..=radius),
-            )
+            Point::new(p.x + rng.gen_range(-radius..=radius), p.y + rng.gen_range(-radius..=radius))
         })
         .collect();
     (*p, satellites)
@@ -121,13 +117,13 @@ pub fn scale_raster(r: &Raster, s: usize, rng: &mut StdRng) -> Raster {
     assert!(s >= 1);
     // Pick the most square factor pair a*b = s.
     let mut a = (s as f64).sqrt() as usize;
-    while a > 1 && s % a != 0 {
+    while a > 1 && !s.is_multiple_of(a) {
         a -= 1;
     }
     let b = s / a.max(1);
     let max = i64::from(r.depth().max_value());
-    let mut out = Raster::new(r.width() * b, r.height() * a, r.depth(), r.geo())
-        .expect("scaled raster");
+    let mut out =
+        Raster::new(r.width() * b, r.height() * a, r.depth(), r.geo()).expect("scaled raster");
     for row in 0..r.height() {
         for col in 0..r.width() {
             let base = r.pixel(col, row).expect("in range") as i64;

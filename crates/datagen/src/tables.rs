@@ -7,8 +7,7 @@ use paradise_exec::schema::{DataType, Field, Schema};
 use paradise_exec::value::{Date, RasterValue, Value};
 use paradise_exec::{Decluster, TableDef, Tuple};
 use paradise_geom::{Point, Polygon, Polyline, Rect, Shape};
-use rand::rngs::StdRng;
-use rand::Rng;
+use paradise_util::Rng as StdRng;
 use std::sync::Arc;
 
 /// `populatedPlaces.type` value meaning "large city" (Q12's filter).
@@ -205,11 +204,7 @@ impl World {
             let date = Date(anchor + (di as i64 - (spec.dates as i64 / 4)) * 10);
             for &ch in &spec.channels {
                 let base = make_raster(&mut rng, spec.raster_w, spec.raster_h, di, ch);
-                let img = if s > 1 {
-                    scaleup::scale_raster(&base, s, &mut rng)
-                } else {
-                    base
-                };
+                let img = if s > 1 { scaleup::scale_raster(&base, s, &mut rng) } else { base };
                 rasters.push(Tuple::new(vec![
                     Value::Date(date),
                     Value::Int(ch),
@@ -221,13 +216,15 @@ impl World {
         // --- populated places -----------------------------------------
         // Places cluster around urban centres (spatial skew).
         let n_centers = (spec.populated_places / 20).max(1);
-        let centers: Vec<Point> = (0..n_centers)
-            .map(|_| random_land_point(&mut rng, &continents))
-            .collect();
+        let centers: Vec<Point> =
+            (0..n_centers).map(|_| random_land_point(&mut rng, &continents)).collect();
         let mut populated_places = Vec::new();
         let mut pp_id = 0usize;
         let push_place = |id: usize, p: Point, name: String, rng: &mut StdRng| {
-            let ty = if rng.gen_bool(0.02) { LARGE_CITY } else { 2 + (id as i64 % 4) };
+            // Roughly 2% large cities, with a deterministic floor (one per
+            // 40 ids) so even tiny worlds always have Q12 targets.
+            let ty =
+                if id % 40 == 7 || rng.gen_bool(0.02) { LARGE_CITY } else { 2 + (id as i64 % 4) };
             Tuple::new(vec![
                 Value::Str(format!("pp-{id}")),
                 Value::Str(format!("face-{}", id % 97)),
@@ -258,8 +255,12 @@ impl World {
         }
 
         // --- roads & drainage ------------------------------------------
-        let mk_lines = |count: usize, types: i64, segs: usize, step: f64, prefix: &str,
-                            rng: &mut StdRng|
+        let mk_lines = |count: usize,
+                        types: i64,
+                        segs: usize,
+                        step: f64,
+                        prefix: &str,
+                        rng: &mut StdRng|
          -> Vec<Tuple> {
             let mut out = Vec::new();
             let mut id = 0usize;
@@ -305,7 +306,11 @@ impl World {
                 OIL_FIELD
             } else {
                 let t = i as i64 % 15;
-                if t >= OIL_FIELD { t + 1 } else { t }
+                if t >= OIL_FIELD {
+                    t + 1
+                } else {
+                    t
+                }
             };
             let (dense, sats) = scaleup::scale_polygon(&base, s, &mut rng);
             push_lc(lc_id, ty, dense, &mut land_cover);
@@ -431,11 +436,8 @@ mod tests {
     fn query_constants_exist() {
         let w = World::generate(WorldSpec::tiny(2));
         // Phoenix and Louisville present (Q5/Q8).
-        let names: Vec<&str> = w
-            .populated_places
-            .iter()
-            .map(|t| t.get(4).unwrap().as_str().unwrap())
-            .collect();
+        let names: Vec<&str> =
+            w.populated_places.iter().map(|t| t.get(4).unwrap().as_str().unwrap()).collect();
         assert!(names.contains(&"Phoenix"));
         assert!(names.iter().filter(|n| **n == "Louisville").count() >= 1);
         // The query date exists on the query channel (Q4/Q9).
@@ -445,10 +447,7 @@ mod tests {
         });
         assert!(hit, "1988-04-01 channel 5 raster must exist");
         // Some oil fields exist (Q9/Q14).
-        assert!(w
-            .land_cover
-            .iter()
-            .any(|t| t.get(1).unwrap().as_int().unwrap() == OIL_FIELD));
+        assert!(w.land_cover.iter().any(|t| t.get(1).unwrap().as_int().unwrap() == OIL_FIELD));
         // Some large cities exist (Q12).
         assert!(w
             .populated_places
@@ -498,10 +497,7 @@ mod tests {
         assert_eq!(roads_table().schema.len(), 3);
         assert_eq!(drainage_table().schema.len(), 3);
         assert_eq!(land_cover_table().schema.len(), 3);
-        assert!(matches!(
-            populated_places_table().decluster,
-            Decluster::Spatial { col: 3 }
-        ));
+        assert!(matches!(populated_places_table().decluster, Decluster::Spatial { col: 3 }));
         assert!(matches!(raster_table().decluster, Decluster::RoundRobin));
     }
 }

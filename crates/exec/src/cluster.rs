@@ -10,6 +10,8 @@
 //! Cross-node traffic (repartitioning, replication, pulls) is accounted in
 //! [`NetStats`], which the experiments read.
 
+use crate::stream::{self, RemoteRx, RemoteTx, TupleRx, TupleTx};
+use crate::tuple::Tuple;
 use crate::value::TileRef;
 use crate::{ExecError, Result};
 use paradise_geom::{Grid, Point, Rect, TileId};
@@ -20,6 +22,50 @@ use std::sync::Arc;
 
 /// Index of a node within the cluster.
 pub type NodeId = usize;
+
+/// The endpoints a wire transport must provide. `paradise-net` implements
+/// this over TCP; the trait lives here so the engine can be wired to any
+/// transport without a dependency cycle (net depends on exec, not the
+/// other way round).
+pub trait WireTransport: Send + Sync {
+    /// Opens a flow-controlled tuple stream from `src` to `dst` with a
+    /// window of `window` tuples in flight. `dst` may be
+    /// [`Cluster::coordinator_id`] (the QC endpoint). Returns the raw
+    /// endpoints; the cluster wraps them with traffic accounting.
+    fn open(
+        &self,
+        window: usize,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Result<(Arc<dyn RemoteTx>, Box<dyn RemoteRx>)>;
+
+    /// Fetches the raw stored bytes of a tile object living on
+    /// `tile.node`, on behalf of `requester` (§2.5.2 pull).
+    fn fetch_tile(&self, requester: NodeId, tile: &TileRef) -> Result<Vec<u8>>;
+
+    /// Stops servers and closes connections. Idempotent.
+    fn shutdown(&self);
+}
+
+/// How tuples and tiles move between nodes.
+#[derive(Clone)]
+pub enum Transport {
+    /// In-process bounded channels (the default; zero-copy simulation).
+    Local,
+    /// A real wire protocol (e.g. `paradise-net` TCP with credit-based
+    /// flow control). Both transports share the bounded-window semantics
+    /// and the accounting choke point, so plans behave identically.
+    Tcp(Arc<dyn WireTransport>),
+}
+
+impl std::fmt::Debug for Transport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Transport::Local => write!(f, "Transport::Local"),
+            Transport::Tcp(_) => write!(f, "Transport::Tcp"),
+        }
+    }
+}
 
 /// Cluster construction parameters.
 #[derive(Debug, Clone)]
@@ -135,6 +181,7 @@ pub struct Cluster {
     pub net: Arc<NetStats>,
     pull_cost: std::time::Duration,
     temp_counter: AtomicU64,
+    transport: Transport,
 }
 
 impl Cluster {
@@ -148,20 +195,106 @@ impl Cluster {
             let store = Arc::new(Store::create(&base, cfg.pool_pages)?);
             nodes.push(Arc::new(Node { id, store }));
         }
-        let grid = Grid::with_tile_count(cfg.universe, cfg.grid_tiles)
-            .map_err(ExecError::Geom)?;
+        let grid = Grid::with_tile_count(cfg.universe, cfg.grid_tiles).map_err(ExecError::Geom)?;
         Ok(Cluster {
             nodes,
             grid,
             net: Arc::new(NetStats::default()),
             pull_cost: cfg.pull_cost,
             temp_counter: AtomicU64::new(0),
+            transport: Transport::Local,
         })
     }
 
     /// Number of nodes.
     pub fn num_nodes(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// The stream/tile endpoint id of the query coordinator — one past the
+    /// last data server, mirroring the paper's QC-as-its-own-process
+    /// (Figure 2.1).
+    pub fn coordinator_id(&self) -> NodeId {
+        self.nodes.len()
+    }
+
+    /// Installs a wire transport (servers must already be running).
+    /// Subsequent cross-node streams, routing, and tile pulls go over it.
+    pub fn set_transport(&mut self, transport: Transport) {
+        self.transport = transport;
+    }
+
+    /// The active transport.
+    pub fn transport(&self) -> &Transport {
+        &self.transport
+    }
+
+    /// Shuts the wire transport down (no-op for `Local`). Idempotent.
+    pub fn shutdown_transport(&self) {
+        if let Transport::Tcp(t) = &self.transport {
+            t.shutdown();
+        }
+    }
+
+    /// Opens a cross-node stream `src → dst` with the given flow-control
+    /// window, over whichever transport the cluster runs. Every tuple
+    /// crossing distinct nodes is charged to [`NetStats`] at the
+    /// [`TupleTx::send`] choke point, so `Local` and `Tcp` account
+    /// identically for identical plans.
+    pub fn stream(&self, window: usize, src: NodeId, dst: NodeId) -> Result<(TupleTx, TupleRx)> {
+        match &self.transport {
+            Transport::Local => Ok(stream::network_stream(window, src, dst, self.net.clone())),
+            Transport::Tcp(t) => {
+                let (tx, rx) = t.open(window, src, dst)?;
+                Ok(stream::remote_stream(tx, rx, src, dst, self.net.clone()))
+            }
+        }
+    }
+
+    /// Ships per-node result rows to the query coordinator over the active
+    /// transport, preserving node order then emission order — the QC is
+    /// its own endpoint, so every row is network traffic.
+    pub fn collect_to_coordinator(&self, per_node: Vec<Vec<Tuple>>) -> Result<Vec<Tuple>> {
+        let qc = self.coordinator_id();
+        match &self.transport {
+            Transport::Local => {
+                // Fast path: charge each row and concatenate.
+                let mut out = Vec::new();
+                for rows in per_node {
+                    for t in rows {
+                        self.net.ship(t.wire_size());
+                        out.push(t);
+                    }
+                }
+                Ok(out)
+            }
+            Transport::Tcp(_) => {
+                // Real path: one stream per node, drained in node order.
+                let mut receivers = Vec::new();
+                let mut senders = Vec::new();
+                for (node, rows) in per_node.into_iter().enumerate() {
+                    if rows.is_empty() {
+                        continue;
+                    }
+                    let (tx, rx) = self.stream(stream::DEFAULT_WINDOW, node, qc)?;
+                    senders.push(std::thread::spawn(move || -> Result<()> {
+                        for t in rows {
+                            tx.send(t)?;
+                        }
+                        Ok(())
+                    }));
+                    receivers.push(rx);
+                }
+                let mut out = Vec::new();
+                for rx in receivers {
+                    out.extend(rx);
+                }
+                for s in senders {
+                    s.join().map_err(|_| ExecError::Other("collect sender panicked".into()))??;
+                }
+                Ok(out)
+            }
+        }
     }
 
     /// All nodes.
@@ -201,11 +334,19 @@ impl Cluster {
     /// the tile lives elsewhere.
     pub fn fetch_tile(&self, requester: NodeId, tile: &TileRef) -> Result<Vec<u8>> {
         let owner = tile.node as usize;
-        let file = self.nodes[owner]
-            .store
-            .file(crate::raster_store::TILE_FILE)
-            .ok_or_else(|| ExecError::NotFound("tile file".into()))?;
-        let raw = file.read(tile.oid)?;
+        let raw = match (&self.transport, owner == requester) {
+            // A remote pull over a real transport goes through the wire:
+            // the owning data server reads the object and ships the bytes.
+            (Transport::Tcp(t), false) => t.fetch_tile(requester, tile)?,
+            // Local transport (or a pull of a tile we own): direct read.
+            _ => {
+                let file = self.nodes[owner]
+                    .store
+                    .file(crate::raster_store::TILE_FILE)
+                    .ok_or_else(|| ExecError::NotFound("tile file".into()))?;
+                file.read(tile.oid)?
+            }
+        };
         if owner != requester {
             self.net.pulls.fetch_add(1, Ordering::Relaxed);
             self.net.pull_bytes.fetch_add(raw.len() as u64, Ordering::Relaxed);
@@ -236,6 +377,12 @@ impl Cluster {
     }
 }
 
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.shutdown_transport();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,7 +407,7 @@ mod tests {
     #[test]
     fn tile_to_node_mapping_is_stable_and_balanced() {
         let cluster = Cluster::create(&ClusterConfig::for_test(8, "map")).unwrap();
-        let mut counts = vec![0usize; 8];
+        let mut counts = [0usize; 8];
         for t in 0..cluster.grid().num_tiles() {
             let n = cluster.node_for_tile(t);
             assert_eq!(n, cluster.node_for_tile(t), "mapping must be deterministic");
@@ -270,10 +417,7 @@ mod tests {
         assert_eq!(total as u32, cluster.grid().num_tiles());
         let avg = total / 8;
         for (n, &c) in counts.iter().enumerate() {
-            assert!(
-                c > avg / 2 && c < avg * 2,
-                "node {n} got {c} of {total} tiles"
-            );
+            assert!(c > avg / 2 && c < avg * 2, "node {n} got {c} of {total} tiles");
         }
     }
 

@@ -188,8 +188,7 @@ mod tests {
             for i in 0..shape_count {
                 let x = (i % 20) as f64 * 5.0 + 0.3;
                 let y = (i / 20) as f64 * 5.0 + 0.3;
-                let r = Rect::from_corners(Point::new(x, y), Point::new(x + 2.0, y + 2.0))
-                    .unwrap();
+                let r = Rect::from_corners(Point::new(x, y), Point::new(x + 2.0, y + 2.0)).unwrap();
                 if grid.tile_ids_for_rect(&r).len() > 1 {
                     replicated += 1;
                 }
@@ -198,9 +197,6 @@ mod tests {
         };
         let few = frac(16);
         let many = frac(2048);
-        assert!(
-            many > few,
-            "replication should grow with partitions: {few} vs {many}"
-        );
+        assert!(many > few, "replication should grow with partitions: {few} vs {many}");
     }
 }

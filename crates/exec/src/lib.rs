@@ -35,10 +35,11 @@ pub mod table;
 pub mod tuple;
 pub mod value;
 
-pub use cluster::{Cluster, ClusterConfig, Node, NodeId};
+pub use cluster::{Cluster, ClusterConfig, Node, NodeId, Transport, WireTransport};
 pub use decluster::Decluster;
 pub use metrics::{PhaseTimes, QueryMetrics};
 pub use schema::{DataType, Field, Schema};
+pub use stream::{RemoteRx, RemoteTx};
 pub use table::TableDef;
 pub use tuple::Tuple;
 pub use value::{Date, StoredRaster, Value};

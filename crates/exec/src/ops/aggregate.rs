@@ -67,9 +67,7 @@ impl AggRegistry {
 
     /// Looks up an aggregate by name.
     pub fn get(&self, name: &str) -> Result<&AggregateFn> {
-        self.map
-            .get(name)
-            .ok_or_else(|| ExecError::NotFound(format!("aggregate {name}")))
+        self.map.get(name).ok_or_else(|| ExecError::NotFound(format!("aggregate {name}")))
     }
 
     /// Registered names (for catalog listings).
@@ -101,10 +99,8 @@ pub fn local_aggregate(
         let entry = groups.entry(key_bytes).or_insert_with(|| (key_vals, None));
         (agg.local)(&mut entry.1, t)?;
     }
-    let mut out: Vec<(Vec<Value>, Tuple)> = groups
-        .into_values()
-        .filter_map(|(k, state)| state.map(|s| (k, s)))
-        .collect();
+    let mut out: Vec<(Vec<Value>, Tuple)> =
+        groups.into_values().filter_map(|(k, state)| state.map(|s| (k, s))).collect();
     // Deterministic order for tests and stable output.
     out.sort_by(|a, b| {
         let ka: Vec<u8> = a.0.iter().flat_map(index_key).collect();
@@ -215,9 +211,7 @@ pub fn avg_agg() -> AggregateFn {
             *st = Some(Tuple::new(vec![Value::Float(s), Value::Int(n)]));
             Ok(())
         }),
-        finish: Arc::new(|t| {
-            Ok(Value::Float(t.get(0)?.as_float()? / t.get(1)?.as_int()? as f64))
-        }),
+        finish: Arc::new(|t| Ok(Value::Float(t.get(0)?.as_float()? / t.get(1)?.as_int()? as f64))),
     }
 }
 
@@ -269,10 +263,8 @@ mod tests {
         for (i, r) in rows.into_iter().enumerate() {
             frags[i % nodes].push(r);
         }
-        let partials: Vec<_> = frags
-            .iter()
-            .map(|f| local_aggregate(f, group, agg).unwrap())
-            .collect();
+        let partials: Vec<_> =
+            frags.iter().map(|f| local_aggregate(f, group, agg).unwrap()).collect();
         global_aggregate(partials, agg).unwrap()
     }
 

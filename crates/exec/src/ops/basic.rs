@@ -6,7 +6,10 @@ use crate::Result;
 
 /// Filters tuples by a predicate (the parallel `select` operator; each node
 /// runs one instance over its fragment).
-pub fn select(input: Vec<Tuple>, mut pred: impl FnMut(&Tuple) -> Result<bool>) -> Result<Vec<Tuple>> {
+pub fn select(
+    input: Vec<Tuple>,
+    mut pred: impl FnMut(&Tuple) -> Result<bool>,
+) -> Result<Vec<Tuple>> {
     let mut out = Vec::new();
     for t in input {
         if pred(&t)? {
@@ -19,7 +22,10 @@ pub fn select(input: Vec<Tuple>, mut pred: impl FnMut(&Tuple) -> Result<bool>) -
 /// Maps every tuple (projection with ADT method evaluation — clip,
 /// lower_res, area … happen inside `f`). `f` returning `None` drops the
 /// tuple (used when a clip produces an empty region).
-pub fn project(input: Vec<Tuple>, mut f: impl FnMut(Tuple) -> Result<Option<Tuple>>) -> Result<Vec<Tuple>> {
+pub fn project(
+    input: Vec<Tuple>,
+    mut f: impl FnMut(Tuple) -> Result<Option<Tuple>>,
+) -> Result<Vec<Tuple>> {
     let mut out = Vec::with_capacity(input.len());
     for t in input {
         if let Some(t) = f(t)? {

@@ -173,14 +173,10 @@ pub fn closest_join(
             let pts = outer_iter.next().expect("one batch per node");
             let mut msgs: Vec<(NodeId, Tuple)> = Vec::new();
             for t in pts {
-                let p = t
-                    .get(outer_col)?
-                    .as_shape()?
-                    .as_point()
-                    .ok_or(crate::ExecError::Type {
-                        expected: "point",
-                        got: "non-point shape".into(),
-                    })?;
+                let p = t.get(outer_col)?.as_shape()?.as_point().ok_or(crate::ExecError::Type {
+                    expected: "point",
+                    got: "non-point shape".into(),
+                })?;
                 let local = use_semi_join
                     && semi_join_is_local(cluster, &trees[node], &p, |payload| {
                         Ok(frags[node][payload as usize]
@@ -201,7 +197,7 @@ pub fn closest_join(
             Ok(msgs)
         })?
     };
-    let inbox = route(cluster, outbox);
+    let inbox = route(cluster, outbox)?;
 
     // Step 4b: join-with-aggregate per node (expanding circle probes).
     let per_node: Vec<Vec<(Tuple, usize, f64)>> = {
@@ -248,17 +244,13 @@ pub fn closest_join(
                 if replace {
                     best.insert(
                         key,
-                        ClosestResult {
-                            outer,
-                            inner: frags[node][inner_idx].clone(),
-                            distance: d,
-                        },
+                        ClosestResult { outer, inner: frags[node][inner_idx].clone(), distance: d },
                     );
                 }
             }
         }
         let mut out: Vec<ClosestResult> = best.into_values().collect();
-        out.sort_by(|a, b| a.outer.encode().cmp(&b.outer.encode()));
+        out.sort_by_key(|a| a.outer.encode());
         Ok(out)
     })
 }
@@ -297,10 +289,7 @@ mod tests {
     }
 
     fn pt(id: &str, x: f64, y: f64) -> Tuple {
-        Tuple::new(vec![
-            Value::Str(id.into()),
-            Value::Shape(Shape::Point(Point::new(x, y))),
-        ])
+        Tuple::new(vec![Value::Str(id.into()), Value::Shape(Shape::Point(Point::new(x, y)))])
     }
 
     /// Deterministic drainage segments spread over the world.
@@ -353,20 +342,14 @@ mod tests {
             .unwrap()
             .unwrap();
             let want = brute_closest(&segs, &probe);
-            assert!(
-                (got.1 - want.1).abs() < 1e-9,
-                "probe {probe}: {} vs {}",
-                got.1,
-                want.1
-            );
+            assert!((got.1 - want.1).abs() < 1e-9, "probe {probe}: {} vs {}", got.1, want.1);
         }
     }
 
     #[test]
     fn expanding_circle_empty_tree_falls_back() {
         let tree = RTree::new();
-        let universe =
-            Rect::from_corners(Point::new(0.0, 0.0), Point::new(10.0, 10.0)).unwrap();
+        let universe = Rect::from_corners(Point::new(0.0, 0.0), Point::new(10.0, 10.0)).unwrap();
         let got = expanding_circle_closest(
             &tree,
             &Point::new(5.0, 5.0),
@@ -387,8 +370,7 @@ mod tests {
         let near = tile_rect.center();
         let tree = RTree::bulk_load(vec![(near.bbox(), 0)]);
         let probe = tile_rect.center();
-        let local =
-            semi_join_is_local(&c, &tree, &probe, |_| Ok(near.distance(&probe))).unwrap();
+        let local = semi_join_is_local(&c, &tree, &probe, |_| Ok(near.distance(&probe))).unwrap();
         assert!(local);
         // An empty local index can never prove locality.
         let empty = RTree::new();
@@ -447,7 +429,9 @@ mod tests {
         let segs = world_segments(800);
         drainage.load(&c, segs.clone()).unwrap();
         let cities: Vec<Tuple> = (0..40)
-            .map(|i| pt(&format!("c{i}"), f64::from(i) * 8.0 - 160.0, f64::from(i % 9) * 16.0 - 64.0))
+            .map(|i| {
+                pt(&format!("c{i}"), f64::from(i) * 8.0 - 160.0, f64::from(i % 9) * 16.0 - 64.0)
+            })
             .collect();
         let mut outer: Vec<Vec<Tuple>> = vec![Vec::new(); 4];
         for t in &cities {

@@ -105,10 +105,9 @@ mod tests {
     fn nested_loops_cross_predicate() {
         let left = vec![kv(1, "a"), kv(2, "b")];
         let right = vec![kv(2, "x"), kv(3, "y")];
-        let out = nested_loops_join(&left, &right, |l, r| {
-            Ok(l.get(0)?.as_int()? == r.get(0)?.as_int()?)
-        })
-        .unwrap();
+        let out =
+            nested_loops_join(&left, &right, |l, r| Ok(l.get(0)?.as_int()? == r.get(0)?.as_int()?))
+                .unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].get(1).unwrap(), &Value::Str("b".into()));
         assert_eq!(out[0].get(3).unwrap(), &Value::Str("x".into()));
@@ -119,10 +118,9 @@ mod tests {
         let left: Vec<Tuple> = (0..200).map(|i| kv(i % 37, "l")).collect();
         let right: Vec<Tuple> = (0..150).map(|i| kv(i % 41, "r")).collect();
         let hj = hash_join(&left, 0, &right, 0, 1 << 20).unwrap();
-        let nl = nested_loops_join(&left, &right, |l, r| {
-            Ok(l.get(0)?.as_int()? == r.get(0)?.as_int()?)
-        })
-        .unwrap();
+        let nl =
+            nested_loops_join(&left, &right, |l, r| Ok(l.get(0)?.as_int()? == r.get(0)?.as_int()?))
+                .unwrap();
         assert_eq!(hj.len(), nl.len());
     }
 

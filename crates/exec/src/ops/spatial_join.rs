@@ -118,7 +118,7 @@ pub fn spatial_repartition(
         })?;
         Ok(msgs)
     })?;
-    Ok(route(cluster, outbox))
+    route(cluster, outbox)
 }
 
 /// The full parallel spatial join of two spatially-declustered tables:

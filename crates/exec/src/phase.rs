@@ -47,20 +47,66 @@ pub fn run_sequential<O>(
     Ok(out)
 }
 
-/// Routes per-node outboxes to per-node inboxes, accounting network bytes
-/// for every tuple that crosses a node boundary. `outbox[src]` is the list
-/// of `(dest, tuple)` pairs node `src` emitted.
-pub fn route(cluster: &Cluster, outbox: Vec<Vec<(NodeId, Tuple)>>) -> Vec<Vec<Tuple>> {
-    let mut inbox: Vec<Vec<Tuple>> = (0..cluster.num_nodes()).map(|_| Vec::new()).collect();
+/// Routes per-node outboxes to per-node inboxes over the cluster's
+/// transport, accounting network bytes for every tuple that crosses a
+/// node boundary. `outbox[src]` is the list of `(dest, tuple)` pairs node
+/// `src` emitted.
+///
+/// Under [`crate::cluster::Transport::Local`] tuples move by ownership;
+/// under `Tcp` each cross-node `(src, dst)` batch travels through a real
+/// flow-controlled wire stream. Both paths charge identical traffic at
+/// the [`crate::stream::TupleTx::send`] choke point.
+pub fn route(cluster: &Cluster, outbox: Vec<Vec<(NodeId, Tuple)>>) -> Result<Vec<Vec<Tuple>>> {
+    let n = cluster.num_nodes();
+    let mut inbox: Vec<Vec<Tuple>> = (0..n).map(|_| Vec::new()).collect();
+    if matches!(cluster.transport(), crate::cluster::Transport::Local) {
+        for (src, msgs) in outbox.into_iter().enumerate() {
+            for (dest, tuple) in msgs {
+                if dest != src {
+                    cluster.net.ship(tuple.wire_size());
+                }
+                inbox[dest].push(tuple);
+            }
+        }
+        return Ok(inbox);
+    }
+    // Wire transport: local tuples short-circuit, cross-node batches go
+    // over per-(src,dst) streams drained concurrently with the senders.
+    let mut cross: Vec<Vec<Vec<Tuple>>> =
+        (0..n).map(|_| (0..n).map(|_| Vec::new()).collect()).collect();
     for (src, msgs) in outbox.into_iter().enumerate() {
         for (dest, tuple) in msgs {
-            if dest != src {
-                cluster.net.ship(tuple.wire_size());
+            if dest == src {
+                inbox[dest].push(tuple);
+            } else {
+                cross[src][dest].push(tuple);
             }
-            inbox[dest].push(tuple);
         }
     }
-    inbox
+    let mut senders = Vec::new();
+    let mut receivers = Vec::new();
+    for (src, per_dst) in cross.into_iter().enumerate() {
+        for (dst, batch) in per_dst.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let (tx, rx) = cluster.stream(crate::stream::DEFAULT_WINDOW, src, dst)?;
+            senders.push(std::thread::spawn(move || -> Result<()> {
+                for t in batch {
+                    tx.send(t)?;
+                }
+                Ok(())
+            }));
+            receivers.push((dst, rx));
+        }
+    }
+    for (dst, rx) in receivers {
+        inbox[dst].extend(rx);
+    }
+    for s in senders {
+        s.join().map_err(|_| crate::ExecError::Other("route sender panicked".into()))??;
+    }
+    Ok(inbox)
 }
 
 #[cfg(test)]
@@ -91,7 +137,8 @@ mod tests {
                 vec![(0, t(1)), (1, t(2))], // node 0: one local, one remote
                 vec![(0, t(3))],            // node 1: one remote
             ],
-        );
+        )
+        .unwrap();
         assert_eq!(inbox[0].len(), 2);
         assert_eq!(inbox[1].len(), 1);
         let d = cluster.net.since(base);

@@ -10,7 +10,7 @@
 //! producer and consumer matters.
 
 use crate::cluster::Cluster;
-use crate::stream::{mem_stream, network_stream, SplitStream, TupleRx, TupleTx, DEFAULT_WINDOW};
+use crate::stream::{mem_stream, SplitStream, TupleRx, TupleTx, DEFAULT_WINDOW};
 use crate::table::TableDef;
 use crate::tuple::Tuple;
 use crate::{ExecError, NodeId, Result};
@@ -24,9 +24,7 @@ pub struct OperatorHandle {
 impl OperatorHandle {
     /// Waits for the operator to finish.
     pub fn wait(self) -> Result<()> {
-        self.join
-            .join()
-            .map_err(|_| ExecError::Other("operator thread panicked".into()))?
+        self.join.join().map_err(|_| ExecError::Other("operator thread panicked".into()))?
     }
 }
 
@@ -95,7 +93,8 @@ pub fn parallel_filter_scan(
         let (scan_tx, scan_rx) = mem_stream(DEFAULT_WINDOW);
         // The QC is modelled as "node n" (a distinct endpoint), so every
         // result tuple is network traffic, as with the real coordinator.
-        let (res_tx, res_rx) = network_stream(DEFAULT_WINDOW, node, n, cluster.net.clone());
+        // Over a Tcp transport this stream runs on a real socket.
+        let (res_tx, res_rx) = cluster.stream(DEFAULT_WINDOW, node, n)?;
         handles.push(spawn_scan(cluster, table, node, scan_tx));
         handles.push(spawn_filter(scan_rx, res_tx, pred.clone()));
         result_rxs.push(res_rx);
@@ -133,8 +132,7 @@ mod tests {
     #[test]
     fn threaded_scan_filter_matches_expected() {
         let (c, t) = setup("pl1");
-        let out =
-            parallel_filter_scan(&c, &t, |t| Ok(t.get(0)?.as_int()? % 3 == 0)).unwrap();
+        let out = parallel_filter_scan(&c, &t, |t| Ok(t.get(0)?.as_int()? % 3 == 0)).unwrap();
         assert_eq!(out.len(), (0..200).filter(|i| i % 3 == 0).count());
         // Every result crossed a network stream to the coordinator.
         assert!(c.net.snapshot().tuples >= out.len() as u64);

@@ -89,14 +89,8 @@ pub fn geo_of_region(sr: &StoredRaster, row0: u32, row1: u32, col0: u32, col1: u
     let px_w = sr.geo.width() / f64::from(sr.width);
     let px_h = sr.geo.height() / f64::from(sr.height);
     Rect::from_corners(
-        Point::new(
-            sr.geo.lo.x + f64::from(col0) * px_w,
-            sr.geo.hi.y - f64::from(row1) * px_h,
-        ),
-        Point::new(
-            sr.geo.lo.x + f64::from(col1) * px_w,
-            sr.geo.hi.y - f64::from(row0) * px_h,
-        ),
+        Point::new(sr.geo.lo.x + f64::from(col0) * px_w, sr.geo.hi.y - f64::from(row1) * px_h),
+        Point::new(sr.geo.lo.x + f64::from(col1) * px_w, sr.geo.hi.y - f64::from(row0) * px_h),
     )
     .expect("pixel-aligned rect")
 }

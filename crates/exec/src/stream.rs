@@ -21,27 +21,74 @@
 //! All stream kinds share the [`TupleTx`]/[`TupleRx`] interface, so an
 //! operator is "totally isolated from the type of stream it reads or
 //! writes" — the scheduler picks the concrete kind, as in the paper.
+//!
+//! Streams come in two physical flavours behind the same interface:
+//! in-process bounded channels (the [`mem_stream`]/[`network_stream`]
+//! constructors) and *remote* endpoints supplied by a wire transport
+//! ([`remote_stream`], used by `paradise-net` to run a stream over TCP
+//! with credit-based flow control). Network accounting happens here, in
+//! [`TupleTx::send`] — the single choke point every transported tuple
+//! passes through — so `Local` and `Tcp` transports report identical
+//! traffic for identical plans.
 
 use crate::cluster::{NetStats, NodeId};
 use crate::tuple::Tuple;
 use crate::Result;
-use crossbeam::channel::{bounded, Receiver, Sender};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
 
 /// Default flow-control window (tuples in flight per stream).
 pub const DEFAULT_WINDOW: usize = 256;
 
+/// The sending side of a wire-transported stream. Implementations must
+/// apply flow control in `send` (blocking until the peer grants credit)
+/// and deliver end-of-stream when the last clone is dropped.
+pub trait RemoteTx: Send + Sync {
+    /// Ships one tuple, blocking on flow control.
+    fn send(&self, t: Tuple) -> Result<()>;
+}
+
+/// The receiving side of a wire-transported stream.
+pub trait RemoteRx: Send {
+    /// Next tuple; `None` once the peer finished (or the link died).
+    fn recv(&mut self) -> Option<Tuple>;
+
+    /// If the link terminated abnormally (peer death, timeout), the error.
+    fn link_error(&self) -> Option<String> {
+        None
+    }
+}
+
+enum TxInner {
+    Chan(SyncSender<Tuple>),
+    Remote(Arc<dyn RemoteTx>),
+}
+
+impl Clone for TxInner {
+    fn clone(&self) -> Self {
+        match self {
+            TxInner::Chan(s) => TxInner::Chan(s.clone()),
+            TxInner::Remote(r) => TxInner::Remote(r.clone()),
+        }
+    }
+}
+
+enum RxInner {
+    Chan(Receiver<Tuple>),
+    Remote(Box<dyn RemoteRx>),
+}
+
 /// Sending half of a stream.
 #[derive(Clone)]
 pub struct TupleTx {
-    inner: Sender<Tuple>,
+    inner: TxInner,
     /// Set for network streams: (src, dst, counters).
     net: Option<(NodeId, NodeId, Arc<NetStats>)>,
 }
 
 /// Receiving half of a stream.
 pub struct TupleRx {
-    inner: Receiver<Tuple>,
+    inner: RxInner,
 }
 
 impl TupleTx {
@@ -53,21 +100,39 @@ impl TupleTx {
                 net.ship(t.wire_size());
             }
         }
-        self.inner
-            .send(t)
-            .map_err(|_| crate::ExecError::Other("stream receiver dropped".into()))
+        match &self.inner {
+            TxInner::Chan(s) => {
+                s.send(t).map_err(|_| crate::ExecError::Other("stream receiver dropped".into()))
+            }
+            TxInner::Remote(r) => r.send(t),
+        }
     }
 }
 
 impl TupleRx {
     /// Receives the next tuple; `None` when every sender has finished.
-    pub fn recv(&self) -> Option<Tuple> {
-        self.inner.recv().ok()
+    pub fn recv(&mut self) -> Option<Tuple> {
+        match &mut self.inner {
+            RxInner::Chan(r) => r.recv().ok(),
+            RxInner::Remote(r) => r.recv(),
+        }
     }
 
     /// Drains the stream into a vector.
-    pub fn collect(self) -> Vec<Tuple> {
-        self.inner.iter().collect()
+    pub fn collect(mut self) -> Vec<Tuple> {
+        let mut out = Vec::new();
+        while let Some(t) = self.recv() {
+            out.push(t);
+        }
+        out
+    }
+
+    /// For remote streams: the abnormal-termination reason, if any.
+    pub fn link_error(&self) -> Option<String> {
+        match &self.inner {
+            RxInner::Chan(_) => None,
+            RxInner::Remote(r) => r.link_error(),
+        }
     }
 }
 
@@ -81,8 +146,8 @@ impl Iterator for TupleRx {
 
 /// A same-node stream with a flow-control window of `window` tuples.
 pub fn mem_stream(window: usize) -> (TupleTx, TupleRx) {
-    let (tx, rx) = bounded(window.max(1));
-    (TupleTx { inner: tx, net: None }, TupleRx { inner: rx })
+    let (tx, rx) = sync_channel(window.max(1));
+    (TupleTx { inner: TxInner::Chan(tx), net: None }, TupleRx { inner: RxInner::Chan(rx) })
 }
 
 /// A cross-node stream: tuples crossing `src → dst` are charged to `net`.
@@ -92,8 +157,28 @@ pub fn network_stream(
     dst: NodeId,
     net: Arc<NetStats>,
 ) -> (TupleTx, TupleRx) {
-    let (tx, rx) = bounded(window.max(1));
-    (TupleTx { inner: tx, net: Some((src, dst, net)) }, TupleRx { inner: rx })
+    let (tx, rx) = sync_channel(window.max(1));
+    (
+        TupleTx { inner: TxInner::Chan(tx), net: Some((src, dst, net)) },
+        TupleRx { inner: RxInner::Chan(rx) },
+    )
+}
+
+/// Wraps transport-provided endpoints (e.g. a TCP connection with credit
+/// flow control) in the standard stream interface, attaching the same
+/// cross-node accounting as [`network_stream`]. Operators cannot tell the
+/// difference — which is the point.
+pub fn remote_stream(
+    tx: Arc<dyn RemoteTx>,
+    rx: Box<dyn RemoteRx>,
+    src: NodeId,
+    dst: NodeId,
+    net: Arc<NetStats>,
+) -> (TupleTx, TupleRx) {
+    (
+        TupleTx { inner: TxInner::Remote(tx), net: Some((src, dst, net)) },
+        TupleRx { inner: RxInner::Remote(rx) },
+    )
 }
 
 /// Destination selector of a split stream. Returning more than one index
@@ -265,15 +350,53 @@ mod tests {
     }
 
     #[test]
+    fn split_stream_backpressure_with_stalled_consumer_does_not_deadlock() {
+        // Fan-out of two with the tiniest window (1) and consumers that
+        // stall before draining: the producer must block on the full
+        // window — backpressure, not unbounded buffering — and complete
+        // once the consumers drain. Completion of this test *is* the
+        // no-deadlock proof; the assertions pin down loss and ordering.
+        let (tx0, rx0) = mem_stream(1);
+        let (tx1, rx1) = mem_stream(1);
+        let split = SplitStream::new(
+            vec![tx0, tx1],
+            Box::new(|t: &Tuple| match t.values.first() {
+                Some(Value::Int(v)) => vec![(*v as usize) % 2],
+                _ => vec![0],
+            }),
+        );
+        let producer = std::thread::spawn(move || {
+            for i in 0..200 {
+                split.push(t(i)).unwrap();
+            }
+        });
+        // Both consumers stall: the producer can be at most ~2 tuples in
+        // (one queued per window) and must still be running.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert!(!producer.is_finished(), "window of 1 should have blocked the producer");
+        let c0 = std::thread::spawn(move || rx0.collect());
+        let c1 = std::thread::spawn(move || rx1.collect());
+        producer.join().unwrap();
+        let evens = c0.join().unwrap();
+        let odds = c1.join().unwrap();
+        assert_eq!(evens.len(), 100);
+        assert_eq!(odds.len(), 100);
+        // Per-output FIFO order survives the blocking.
+        for (k, row) in evens.iter().enumerate() {
+            assert_eq!(*row, t(2 * k as i64));
+        }
+        for (k, row) in odds.iter().enumerate() {
+            assert_eq!(*row, t(2 * k as i64 + 1));
+        }
+    }
+
+    #[test]
     fn split_stream_replicates_multi_destination() {
         let (tx0, rx0) = mem_stream(8);
         let (tx1, rx1) = mem_stream(8);
         let (tx2, rx2) = mem_stream(8);
         // Every tuple goes to outputs 0 and 2 (like a spanning polygon).
-        let split = SplitStream::new(
-            vec![tx0, tx1, tx2],
-            Box::new(|_| vec![0, 2]),
-        );
+        let split = SplitStream::new(vec![tx0, tx1, tx2], Box::new(|_| vec![0, 2]));
         split.push(t(1)).unwrap();
         drop(split);
         assert_eq!(rx0.collect().len(), 1);

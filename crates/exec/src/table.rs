@@ -186,10 +186,7 @@ impl TableDef {
                 Ok(())
             })?;
             pairs.sort();
-            let tree = cluster
-                .node(node)
-                .store
-                .create_btree(&self.btree_index_file(col))?;
+            let tree = cluster.node(node).store.create_btree(&self.btree_index_file(col))?;
             tree.bulk_load(&pairs)?;
         }
         Ok(())
@@ -203,15 +200,8 @@ impl TableDef {
         col: usize,
         value: &Value,
     ) -> Result<Vec<Tuple>> {
-        let Some(tree) = cluster
-            .node(node)
-            .store
-            .btree(&self.btree_index_file(col))
-        else {
-            return Err(ExecError::NotFound(format!(
-                "btree index on {}.{col}",
-                self.name
-            )));
+        let Some(tree) = cluster.node(node).store.btree(&self.btree_index_file(col)) else {
+            return Err(ExecError::NotFound(format!("btree index on {}.{col}", self.name)));
         };
         tree.get_all(&index_key(value))?
             .into_iter()
@@ -228,15 +218,8 @@ impl TableDef {
         lo: &Value,
         hi: &Value,
     ) -> Result<Vec<Tuple>> {
-        let Some(tree) = cluster
-            .node(node)
-            .store
-            .btree(&self.btree_index_file(col))
-        else {
-            return Err(ExecError::NotFound(format!(
-                "btree index on {}.{col}",
-                self.name
-            )));
+        let Some(tree) = cluster.node(node).store.btree(&self.btree_index_file(col)) else {
+            return Err(ExecError::NotFound(format!("btree index on {}.{col}", self.name)));
         };
         tree.range(&index_key(lo), &index_key(hi))?
             .into_iter()
@@ -255,10 +238,7 @@ impl TableDef {
                 Ok(())
             })?;
             let tree = RTree::bulk_load(entries);
-            let file = cluster
-                .node(node)
-                .store
-                .create_file(&self.rtree_index_file(col))?;
+            let file = cluster.node(node).store.create_file(&self.rtree_index_file(col))?;
             file.insert(&tree.to_bytes())?;
         }
         Ok(())
@@ -266,17 +246,13 @@ impl TableDef {
 
     /// Loads one node's persisted R*-tree index on `col`.
     pub fn rtree_index(&self, cluster: &Cluster, node: NodeId, col: usize) -> Result<RTree> {
-        let file = cluster
-            .node(node)
-            .store
-            .file(&self.rtree_index_file(col))
-            .ok_or_else(|| {
+        let file =
+            cluster.node(node).store.file(&self.rtree_index_file(col)).ok_or_else(|| {
                 ExecError::NotFound(format!("rtree index on {}.{col}", self.name))
             })?;
         let rows = file.scan()?;
-        let bytes = rows
-            .first()
-            .ok_or_else(|| ExecError::NotFound("empty rtree index file".into()))?;
+        let bytes =
+            rows.first().ok_or_else(|| ExecError::NotFound("empty rtree index file".into()))?;
         Ok(RTree::from_bytes(&bytes.1)?)
     }
 
@@ -379,9 +355,8 @@ mod tests {
     fn round_robin_load_balances() {
         let c = cluster(4, "t1");
         let t = TableDef::new("pp", cities_schema(), Decluster::RoundRobin);
-        let tuples: Vec<Tuple> = (0..100)
-            .map(|i| city(i, f64::from(i as i32) - 50.0, 0.0, "x"))
-            .collect();
+        let tuples: Vec<Tuple> =
+            (0..100).map(|i| city(i, f64::from(i as i32) - 50.0, 0.0, "x")).collect();
         let stats = t.load(&c, tuples).unwrap();
         assert_eq!(stats.input_tuples, 100);
         assert_eq!(stats.stored_tuples, 100, "round robin never replicates");
@@ -437,19 +412,13 @@ mod tests {
         assert_eq!(found[0].get(0).unwrap(), &Value::Str("pp-7".into()));
         // Missing key
         for node in 0..2 {
-            assert!(t
-                .btree_probe(&c, node, 3, &Value::Str("atlantis".into()))
-                .unwrap()
-                .is_empty());
+            assert!(t.btree_probe(&c, node, 3, &Value::Str("atlantis".into())).unwrap().is_empty());
         }
         // Range over the int column.
         t.build_btree_index(&c, 1).unwrap();
         let mut hits = 0;
         for node in 0..2 {
-            hits += t
-                .btree_range(&c, node, 1, &Value::Int(0), &Value::Int(1))
-                .unwrap()
-                .len();
+            hits += t.btree_range(&c, node, 1, &Value::Int(0), &Value::Int(1)).unwrap().len();
         }
         // types cycle 0..6 over 50 tuples: type 0 x9 (0,6,..48), type 1 x9? 50/6
         let expected = (0..50).filter(|i| i % 6 <= 1).count();
@@ -460,13 +429,11 @@ mod tests {
     fn rtree_index_roundtrip() {
         let c = cluster(2, "t4");
         let t = TableDef::new("pp", cities_schema(), Decluster::RoundRobin);
-        let tuples: Vec<Tuple> = (0..60)
-            .map(|i| city(i, f64::from(i as i32) * 2.0 - 60.0, 10.0, "x"))
-            .collect();
+        let tuples: Vec<Tuple> =
+            (0..60).map(|i| city(i, f64::from(i as i32) * 2.0 - 60.0, 10.0, "x")).collect();
         t.load(&c, tuples).unwrap();
         t.build_rtree_index(&c, 2).unwrap();
-        let window =
-            Rect::from_corners(Point::new(-10.0, 0.0), Point::new(10.0, 20.0)).unwrap();
+        let window = Rect::from_corners(Point::new(-10.0, 0.0), Point::new(10.0, 20.0)).unwrap();
         let mut hits = 0;
         for node in 0..2 {
             let idx = t.rtree_index(&c, node, 2).unwrap();
@@ -529,8 +496,7 @@ mod tests {
             Field::new("data", DataType::Raster),
         ]);
         let t = TableDef::new("raster", schema, Decluster::RoundRobin).with_tile_bytes(1024);
-        let world =
-            Rect::from_corners(Point::new(-180.0, -90.0), Point::new(180.0, 90.0)).unwrap();
+        let world = Rect::from_corners(Point::new(-180.0, -90.0), Point::new(180.0, 90.0)).unwrap();
         let tuples: Vec<Tuple> = (0..4)
             .map(|i| {
                 let mut r = Raster::new(64, 32, BitDepth::Sixteen, world).unwrap();
@@ -568,8 +534,7 @@ mod tests {
             Field::new("data", DataType::Raster),
         ]);
         let t = TableDef::new("raster", schema, Decluster::RoundRobin);
-        let world =
-            Rect::from_corners(Point::new(-180.0, -90.0), Point::new(180.0, 90.0)).unwrap();
+        let world = Rect::from_corners(Point::new(-180.0, -90.0), Point::new(180.0, 90.0)).unwrap();
         let mut r = Raster::new(16, 8, BitDepth::Sixteen, world).unwrap();
         r.set_pixel(7, 3, 4242).unwrap();
         t.load(

@@ -18,9 +18,7 @@ impl Tuple {
 
     /// Value at column `i`.
     pub fn get(&self, i: usize) -> Result<&Value> {
-        self.values
-            .get(i)
-            .ok_or_else(|| ExecError::NotFound(format!("column index {i}")))
+        self.values.get(i).ok_or_else(|| ExecError::NotFound(format!("column index {i}")))
     }
 
     /// Serializes the tuple (column count + tagged values).

@@ -313,8 +313,8 @@ impl Value {
                 let mut tiles = Vec::with_capacity(n);
                 for _ in 0..n {
                     let node = u32::from_le_bytes(take(buf, pos, 4)?.try_into().unwrap());
-                    let oid = Oid::from_bytes(take(buf, pos, 10)?)
-                        .ok_or(ExecError::Codec("bad oid"))?;
+                    let oid =
+                        Oid::from_bytes(take(buf, pos, 10)?).ok_or(ExecError::Codec("bad oid"))?;
                     let compressed = take(buf, pos, 1)?[0] == 1;
                     tiles.push(TileRef { node, oid, compressed });
                 }
@@ -338,7 +338,8 @@ impl Value {
                 let arr = paradise_array::NdArray::new(vec![h, w], depth.elem_type(), data)
                     .map_err(|_| ExecError::Codec("bad raster payload"))?;
                 Value::Raster(RasterValue::Mem(Arc::new(
-                    Raster::from_array(arr, depth, geo).map_err(|_| ExecError::Codec("bad raster"))?,
+                    Raster::from_array(arr, depth, geo)
+                        .map_err(|_| ExecError::Codec("bad raster"))?,
                 )))
             }
             _ => return Err(ExecError::Codec("unknown value tag")),
@@ -515,12 +516,8 @@ mod tests {
             Polyline::new(vec![Point::new(0.0, 0.0), Point::new(3.0, 4.0)]).unwrap(),
         )));
         roundtrip(Value::Shape(Shape::Polygon(
-            Polygon::new(vec![
-                Point::new(0.0, 0.0),
-                Point::new(2.0, 0.0),
-                Point::new(1.0, 2.0),
-            ])
-            .unwrap(),
+            Polygon::new(vec![Point::new(0.0, 0.0), Point::new(2.0, 0.0), Point::new(1.0, 2.0)])
+                .unwrap(),
         )));
         let shell = Polygon::from_rect(
             &Rect::from_corners(Point::new(0.0, 0.0), Point::new(10.0, 10.0)).unwrap(),
@@ -528,12 +525,8 @@ mod tests {
         let hole = Polygon::from_rect(
             &Rect::from_corners(Point::new(4.0, 4.0), Point::new(6.0, 6.0)).unwrap(),
         );
-        roundtrip(Value::Shape(Shape::SwissCheese(
-            SwissCheese::new(shell, vec![hole]).unwrap(),
-        )));
-        roundtrip(Value::Shape(Shape::Circle(
-            Circle::new(Point::new(5.0, 5.0), 2.5).unwrap(),
-        )));
+        roundtrip(Value::Shape(Shape::SwissCheese(SwissCheese::new(shell, vec![hole]).unwrap())));
+        roundtrip(Value::Shape(Shape::Circle(Circle::new(Point::new(5.0, 5.0), 2.5).unwrap())));
         roundtrip(Value::Shape(Shape::Rect(
             Rect::from_corners(Point::new(0.0, 0.0), Point::new(1.0, 1.0)).unwrap(),
         )));
@@ -608,7 +601,11 @@ mod tests {
             tile_h: 50,
             tile_w: 50,
             tiles: Arc::new(vec![
-                TileRef { node: 0, oid: Oid { page: 1, slot: 0 }, compressed: false };
+                TileRef {
+                    node: 0,
+                    oid: Oid { page: 1, slot: 0 },
+                    compressed: false
+                };
                 4
             ]),
         }));

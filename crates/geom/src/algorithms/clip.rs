@@ -164,14 +164,7 @@ mod tests {
     #[test]
     fn concave_polygon_clip_area() {
         // L-shape of area 7 clipped to a window covering its lower bar.
-        let l = poly(&[
-            (0.0, 0.0),
-            (4.0, 0.0),
-            (4.0, 1.0),
-            (1.0, 1.0),
-            (1.0, 4.0),
-            (0.0, 4.0),
-        ]);
+        let l = poly(&[(0.0, 0.0), (4.0, 0.0), (4.0, 1.0), (1.0, 1.0), (1.0, 4.0), (0.0, 4.0)]);
         let w = window(0.0, 0.0, 4.0, 1.0);
         let clipped = clip_polygon_to_rect(&l, &w).unwrap();
         assert!((clipped.area() - 4.0).abs() < 1e-9);

@@ -145,66 +145,42 @@ mod tests {
         let q = Point::new(1.0, 0.0);
         assert_eq!(orientation(&p, &q, &Point::new(1.0, 1.0)), Orientation::Ccw);
         assert_eq!(orientation(&p, &q, &Point::new(1.0, -1.0)), Orientation::Cw);
-        assert_eq!(
-            orientation(&p, &q, &Point::new(2.0, 0.0)),
-            Orientation::Collinear
-        );
+        assert_eq!(orientation(&p, &q, &Point::new(2.0, 0.0)), Orientation::Collinear);
     }
 
     #[test]
     fn proper_crossing() {
-        assert!(segments_intersect(
-            &seg(0.0, 0.0, 2.0, 2.0),
-            &seg(0.0, 2.0, 2.0, 0.0)
-        ));
+        assert!(segments_intersect(&seg(0.0, 0.0, 2.0, 2.0), &seg(0.0, 2.0, 2.0, 0.0)));
     }
 
     #[test]
     fn disjoint_segments() {
-        assert!(!segments_intersect(
-            &seg(0.0, 0.0, 1.0, 0.0),
-            &seg(0.0, 1.0, 1.0, 1.0)
-        ));
+        assert!(!segments_intersect(&seg(0.0, 0.0, 1.0, 0.0), &seg(0.0, 1.0, 1.0, 1.0)));
     }
 
     #[test]
     fn shared_endpoint_intersects() {
-        assert!(segments_intersect(
-            &seg(0.0, 0.0, 1.0, 1.0),
-            &seg(1.0, 1.0, 2.0, 0.0)
-        ));
+        assert!(segments_intersect(&seg(0.0, 0.0, 1.0, 1.0), &seg(1.0, 1.0, 2.0, 0.0)));
     }
 
     #[test]
     fn t_junction_intersects() {
-        assert!(segments_intersect(
-            &seg(0.0, 0.0, 2.0, 0.0),
-            &seg(1.0, -1.0, 1.0, 0.0)
-        ));
+        assert!(segments_intersect(&seg(0.0, 0.0, 2.0, 0.0), &seg(1.0, -1.0, 1.0, 0.0)));
     }
 
     #[test]
     fn collinear_overlap_intersects() {
-        assert!(segments_intersect(
-            &seg(0.0, 0.0, 2.0, 0.0),
-            &seg(1.0, 0.0, 3.0, 0.0)
-        ));
+        assert!(segments_intersect(&seg(0.0, 0.0, 2.0, 0.0), &seg(1.0, 0.0, 3.0, 0.0)));
     }
 
     #[test]
     fn collinear_disjoint_does_not() {
-        assert!(!segments_intersect(
-            &seg(0.0, 0.0, 1.0, 0.0),
-            &seg(2.0, 0.0, 3.0, 0.0)
-        ));
+        assert!(!segments_intersect(&seg(0.0, 0.0, 1.0, 0.0), &seg(2.0, 0.0, 3.0, 0.0)));
     }
 
     #[test]
     fn near_miss_does_not_intersect() {
-        assert!(!segments_intersect(
-            &seg(0.0, 0.0, 1.0, 0.0),
-            &seg(0.5, 0.001, 1.5, 1.0)
-        ));
+        assert!(!segments_intersect(&seg(0.0, 0.0, 1.0, 0.0), &seg(0.5, 0.001, 1.5, 1.0)));
     }
 
     #[test]
@@ -212,10 +188,7 @@ mod tests {
         let p = intersection_point(&seg(0.0, 0.0, 2.0, 2.0), &seg(0.0, 2.0, 2.0, 0.0)).unwrap();
         assert!((p.x - 1.0).abs() < 1e-12);
         assert!((p.y - 1.0).abs() < 1e-12);
-        assert_eq!(
-            intersection_point(&seg(0.0, 0.0, 1.0, 0.0), &seg(0.0, 1.0, 1.0, 1.0)),
-            None
-        );
+        assert_eq!(intersection_point(&seg(0.0, 0.0, 1.0, 0.0), &seg(0.0, 1.0, 1.0, 1.0)), None);
     }
 
     #[test]

@@ -68,10 +68,7 @@ impl Circle {
     /// larger. The closest-join operator uses `scale_area(2.0)` to double the
     /// probe area each round, exactly as described in paper §3.1.2.
     pub fn scale_area(&self, factor: f64) -> Circle {
-        Circle {
-            center: self.center,
-            radius: self.radius * factor.sqrt(),
-        }
+        Circle { center: self.center, radius: self.radius * factor.sqrt() }
     }
 
     /// The largest circle centred at `p` completely contained in `rect`,
@@ -85,10 +82,7 @@ impl Circle {
         if !rect.contains_point(&p) {
             return None;
         }
-        let r = (p.x - rect.lo.x)
-            .min(rect.hi.x - p.x)
-            .min(p.y - rect.lo.y)
-            .min(rect.hi.y - p.y);
+        let r = (p.x - rect.lo.x).min(rect.hi.x - p.x).min(p.y - rect.lo.y).min(rect.hi.y - p.y);
         Some(Circle { center: p, radius: r })
     }
 }
@@ -109,10 +103,7 @@ mod tests {
 
     #[test]
     fn rejects_bad_radius() {
-        assert!(matches!(
-            Circle::new(Point::new(0.0, 0.0), -1.0),
-            Err(GeomError::BadRadius(_))
-        ));
+        assert!(matches!(Circle::new(Point::new(0.0, 0.0), -1.0), Err(GeomError::BadRadius(_))));
         assert!(matches!(
             Circle::new(Point::new(0.0, 0.0), f64::NAN),
             Err(GeomError::BadRadius(_))
@@ -143,18 +134,15 @@ mod tests {
         assert!(circle.intersects_rect(&near));
         assert!(!circle.intersects_rect(&far));
         // Rect whose corner just grazes the circle.
-        let graze =
-            Rect::from_corners(Point::new(1.0, 0.0), Point::new(2.0, 1.0)).unwrap();
+        let graze = Rect::from_corners(Point::new(1.0, 0.0), Point::new(2.0, 1.0)).unwrap();
         assert!(circle.intersects_rect(&graze));
     }
 
     #[test]
     fn contains_rect_requires_all_corners() {
         let circle = c(0.0, 0.0, 2.0);
-        let inside =
-            Rect::from_corners(Point::new(-1.0, -1.0), Point::new(1.0, 1.0)).unwrap();
-        let poking =
-            Rect::from_corners(Point::new(-1.0, -1.0), Point::new(2.0, 2.0)).unwrap();
+        let inside = Rect::from_corners(Point::new(-1.0, -1.0), Point::new(1.0, 1.0)).unwrap();
+        let poking = Rect::from_corners(Point::new(-1.0, -1.0), Point::new(2.0, 2.0)).unwrap();
         assert!(circle.contains_rect(&inside));
         assert!(!circle.contains_rect(&poking));
     }

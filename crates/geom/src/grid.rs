@@ -77,11 +77,8 @@ impl Grid {
     /// "about 10,000 tiles" default.
     pub fn with_tile_count(universe: Rect, n: u32) -> Result<Self> {
         let n = n.max(1);
-        let aspect = if universe.height() > 0.0 {
-            universe.width() / universe.height()
-        } else {
-            1.0
-        };
+        let aspect =
+            if universe.height() > 0.0 { universe.width() / universe.height() } else { 1.0 };
         let rows = ((n as f64 / aspect.max(1e-9)).sqrt().round() as u32).max(1);
         let cols = n.div_ceil(rows).max(1);
         Grid::new(universe, cols, rows)
@@ -270,8 +267,7 @@ mod tests {
         let n = g.num_tiles();
         assert!((9_000..=11_000).contains(&n), "n = {n}");
         // wide universe gets more columns than rows
-        let wide =
-            Rect::from_corners(Point::new(0.0, 0.0), Point::new(400.0, 100.0)).unwrap();
+        let wide = Rect::from_corners(Point::new(0.0, 0.0), Point::new(400.0, 100.0)).unwrap();
         let gw = Grid::with_tile_count(wide, 100).unwrap();
         assert!(gw.cols() > gw.rows());
     }

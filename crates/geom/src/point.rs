@@ -44,11 +44,8 @@ impl Point {
     /// query 8 ("polygons nearby any city named Louisville").
     pub fn make_box(&self, len: f64) -> Rect {
         let h = len.abs() / 2.0;
-        Rect::new(
-            Point::new(self.x - h, self.y - h),
-            Point::new(self.x + h, self.y + h),
-        )
-        .expect("centered box is never inverted")
+        Rect::new(Point::new(self.x - h, self.y - h), Point::new(self.x + h, self.y + h))
+            .expect("centered box is never inverted")
     }
 
     /// Component-wise addition.

@@ -110,10 +110,7 @@ impl Polygon {
         let a = self.signed_area();
         if a.abs() < crate::EPSILON {
             let n = self.ring.len() as f64;
-            let (sx, sy) = self
-                .ring
-                .iter()
-                .fold((0.0, 0.0), |(sx, sy), p| (sx + p.x, sy + p.y));
+            let (sx, sy) = self.ring.iter().fold((0.0, 0.0), |(sx, sy), p| (sx + p.x, sy + p.y));
             return Point::new(sx / n, sy / n);
         }
         let n = self.ring.len();
@@ -146,8 +143,7 @@ impl Polygon {
         for i in 0..n {
             let a = self.ring[i];
             let b = self.ring[j];
-            if ((a.y > p.y) != (b.y > p.y))
-                && (p.x < (b.x - a.x) * (p.y - a.y) / (b.y - a.y) + a.x)
+            if ((a.y > p.y) != (b.y > p.y)) && (p.x < (b.x - a.x) * (p.y - a.y) / (b.y - a.y) + a.x)
             {
                 inside = !inside;
             }
@@ -189,8 +185,7 @@ impl Polygon {
             return true;
         }
         let edges = rect_edges(rect);
-        self.edges()
-            .any(|s| edges.iter().any(|e| segments_intersect(&s, e)))
+        self.edges().any(|s| edges.iter().any(|e| segments_intersect(&s, e)))
     }
 
     /// The `overlaps` predicate for polygon×polyline: any chain segment
@@ -230,9 +225,7 @@ impl Polygon {
     /// Minimum distance from `p` to the ring *boundary*, regardless of
     /// whether `p` is inside. Swiss-cheese hole tests need this distinction.
     pub fn boundary_distance(&self, p: &Point) -> f64 {
-        self.edges()
-            .map(|e| e.distance_to_point(p))
-            .fold(f64::INFINITY, f64::min)
+        self.edges().map(|e| e.distance_to_point(p)).fold(f64::INFINITY, f64::min)
     }
 }
 
@@ -293,14 +286,7 @@ mod tests {
     #[test]
     fn point_in_concave_polygon() {
         // L-shape: the notch must be outside.
-        let l = poly(&[
-            (0.0, 0.0),
-            (4.0, 0.0),
-            (4.0, 4.0),
-            (3.0, 4.0),
-            (3.0, 1.0),
-            (0.0, 1.0),
-        ]);
+        let l = poly(&[(0.0, 0.0), (4.0, 0.0), (4.0, 4.0), (3.0, 4.0), (3.0, 1.0), (0.0, 1.0)]);
         assert!(l.contains_point(&Point::new(2.0, 0.5)));
         assert!(l.contains_point(&Point::new(3.5, 3.0)));
         assert!(!l.contains_point(&Point::new(1.0, 2.0))); // in the notch
@@ -332,14 +318,11 @@ mod tests {
     #[test]
     fn overlaps_rect_cases() {
         let sq = unit_square();
-        let crossing =
-            Rect::from_corners(Point::new(0.5, -1.0), Point::new(0.7, 2.0)).unwrap();
+        let crossing = Rect::from_corners(Point::new(0.5, -1.0), Point::new(0.7, 2.0)).unwrap();
         assert!(sq.overlaps_rect(&crossing));
-        let containing =
-            Rect::from_corners(Point::new(-1.0, -1.0), Point::new(2.0, 2.0)).unwrap();
+        let containing = Rect::from_corners(Point::new(-1.0, -1.0), Point::new(2.0, 2.0)).unwrap();
         assert!(sq.overlaps_rect(&containing));
-        let contained =
-            Rect::from_corners(Point::new(0.4, 0.4), Point::new(0.6, 0.6)).unwrap();
+        let contained = Rect::from_corners(Point::new(0.4, 0.4), Point::new(0.6, 0.6)).unwrap();
         assert!(sq.overlaps_rect(&contained));
         let far = Rect::from_corners(Point::new(5.0, 5.0), Point::new(6.0, 6.0)).unwrap();
         assert!(!sq.overlaps_rect(&far));

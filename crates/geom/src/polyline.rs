@@ -52,17 +52,12 @@ impl Polyline {
 
     /// Total length of the chain.
     pub fn length(&self) -> f64 {
-        self.points
-            .windows(2)
-            .map(|w| w[0].distance(&w[1]))
-            .sum()
+        self.points.windows(2).map(|w| w[0].distance(&w[1])).sum()
     }
 
     /// Minimum distance from `p` to the polyline.
     pub fn distance_to_point(&self, p: &Point) -> f64 {
-        self.segments()
-            .map(|s| s.distance_to_point(p))
-            .fold(f64::INFINITY, f64::min)
+        self.segments().map(|s| s.distance_to_point(p)).fold(f64::INFINITY, f64::min)
     }
 
     /// True if any segment of `self` crosses or touches any segment of
@@ -97,8 +92,7 @@ impl Polyline {
             return true;
         }
         let edges = rect_edges(rect);
-        self.segments()
-            .any(|s| edges.iter().any(|e| segments_intersect(&s, e)))
+        self.segments().any(|s| edges.iter().any(|e| segments_intersect(&s, e)))
     }
 
     /// Minimum distance between two polylines (0 if they cross).
@@ -202,8 +196,7 @@ mod tests {
         let line = pl(&[(-5.0, 0.5), (5.0, 0.5)]);
         let rect = Rect::from_corners(Point::new(-1.0, 0.0), Point::new(1.0, 1.0)).unwrap();
         assert!(line.intersects_rect(&rect));
-        let rect_far =
-            Rect::from_corners(Point::new(-1.0, 2.0), Point::new(1.0, 3.0)).unwrap();
+        let rect_far = Rect::from_corners(Point::new(-1.0, 2.0), Point::new(1.0, 3.0)).unwrap();
         assert!(!line.intersects_rect(&rect_far));
     }
 }

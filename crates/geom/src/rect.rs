@@ -35,10 +35,7 @@ impl Rect {
     /// Creates a rectangle from any two opposite corners, swapping
     /// coordinates as needed.
     pub fn from_corners(a: Point, b: Point) -> Result<Self> {
-        Rect::new(
-            Point::new(a.x.min(b.x), a.y.min(b.y)),
-            Point::new(a.x.max(b.x), a.y.max(b.y)),
-        )
+        Rect::new(Point::new(a.x.min(b.x), a.y.min(b.y)), Point::new(a.x.max(b.x), a.y.max(b.y)))
     }
 
     /// The smallest rectangle enclosing all `points`.
@@ -161,12 +158,7 @@ impl Rect {
 
     /// The four corners, counter-clockwise starting at `lo`.
     pub fn corners(&self) -> [Point; 4] {
-        [
-            self.lo,
-            Point::new(self.hi.x, self.lo.y),
-            self.hi,
-            Point::new(self.lo.x, self.hi.y),
-        ]
+        [self.lo, Point::new(self.hi.x, self.lo.y), self.hi, Point::new(self.lo.x, self.hi.y)]
     }
 
     /// Expands the rectangle by `pad` on every side.
@@ -216,11 +208,7 @@ mod tests {
 
     #[test]
     fn hull_of_points() {
-        let pts = [
-            Point::new(1.0, 5.0),
-            Point::new(-2.0, 0.0),
-            Point::new(4.0, 2.0),
-        ];
+        let pts = [Point::new(1.0, 5.0), Point::new(-2.0, 0.0), Point::new(4.0, 2.0)];
         assert_eq!(Rect::hull_of(&pts).unwrap(), r(-2.0, 0.0, 4.0, 5.0));
         assert_eq!(Rect::hull_of(&[]), None);
     }

@@ -115,10 +115,7 @@ impl Shape {
                     0.0
                 } else if s.shell().contains_point(p) {
                     // inside a hole: distance to the hole boundary
-                    s.holes()
-                        .iter()
-                        .map(|h| h.boundary_distance(p))
-                        .fold(f64::INFINITY, f64::min)
+                    s.holes().iter().map(|h| h.boundary_distance(p)).fold(f64::INFINITY, f64::min)
                 } else {
                     s.shell().distance_to_point(p)
                 }
@@ -191,11 +188,7 @@ mod tests {
     #[test]
     fn overlaps_is_symmetric_across_kinds() {
         let cases: Vec<(Shape, Shape, bool)> = vec![
-            (
-                Shape::Point(Point::new(0.5, 0.5)),
-                Shape::Polygon(sq(0.0, 0.0, 1.0, 1.0)),
-                true,
-            ),
+            (Shape::Point(Point::new(0.5, 0.5)), Shape::Polygon(sq(0.0, 0.0, 1.0, 1.0)), true),
             (
                 Shape::Polyline(
                     Polyline::new(vec![Point::new(-1.0, 0.5), Point::new(2.0, 0.5)]).unwrap(),
@@ -209,7 +202,9 @@ mod tests {
                 false,
             ),
             (
-                Shape::Rect(Rect::from_corners(Point::new(0.0, 0.0), Point::new(1.0, 1.0)).unwrap()),
+                Shape::Rect(
+                    Rect::from_corners(Point::new(0.0, 0.0), Point::new(1.0, 1.0)).unwrap(),
+                ),
                 Shape::Polygon(sq(0.5, 0.5, 2.0, 2.0)),
                 true,
             ),

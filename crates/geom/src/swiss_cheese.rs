@@ -66,10 +66,7 @@ impl SwissCheese {
         if !self.shell.contains_point(p) {
             return false;
         }
-        !self
-            .holes
-            .iter()
-            .any(|h| h.contains_point(p) && h.boundary_distance(p) > crate::EPSILON)
+        !self.holes.iter().any(|h| h.contains_point(p) && h.boundary_distance(p) > crate::EPSILON)
     }
 
     /// Overlap with a plain polygon: the regions share at least one point.
@@ -138,10 +135,7 @@ mod tests {
     fn rejects_hole_outside_shell() {
         let shell = poly(&[(0.0, 0.0), (1.0, 0.0), (1.0, 1.0), (0.0, 1.0)]);
         let hole = poly(&[(5.0, 5.0), (6.0, 5.0), (6.0, 6.0), (5.0, 6.0)]);
-        assert_eq!(
-            SwissCheese::new(shell, vec![hole]),
-            Err(GeomError::HoleOutsideShell)
-        );
+        assert_eq!(SwissCheese::new(shell, vec![hole]), Err(GeomError::HoleOutsideShell));
     }
 
     #[test]
@@ -150,7 +144,7 @@ mod tests {
         assert!(d.contains_point(&Point::new(1.0, 1.0)));
         assert!(!d.contains_point(&Point::new(5.0, 5.0))); // in the hole
         assert!(!d.contains_point(&Point::new(11.0, 5.0))); // outside shell
-        // on the hole boundary counts as inside the feature
+                                                            // on the hole boundary counts as inside the feature
         assert!(d.contains_point(&Point::new(4.0, 5.0)));
     }
 

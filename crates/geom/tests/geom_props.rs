@@ -1,114 +1,159 @@
-//! Property-based tests for the computational-geometry kernels.
+//! Randomized property tests for the computational-geometry kernels,
+//! driven by the deterministic in-repo PRNG (same cases every run).
 
 use paradise_geom::algorithms::segment::{segments_intersect, Segment};
 use paradise_geom::{algorithms::clip, Circle, Grid, Point, Polygon, Polyline, Rect};
-use proptest::prelude::*;
+use paradise_util::Rng;
 
-fn arb_point() -> impl Strategy<Value = Point> {
-    (-100.0f64..100.0, -100.0f64..100.0).prop_map(|(x, y)| Point::new(x, y))
+const CASES: usize = 128;
+
+fn point(rng: &mut Rng) -> Point {
+    Point::new(rng.gen_range(-100.0..100.0), rng.gen_range(-100.0..100.0))
 }
 
-fn arb_segment() -> impl Strategy<Value = Segment> {
-    (arb_point(), arb_point()).prop_map(|(a, b)| Segment::new(a, b))
+fn segment(rng: &mut Rng) -> Segment {
+    Segment::new(point(rng), point(rng))
 }
 
 /// Star polygon around a center — always simple (non-self-intersecting).
-fn arb_polygon() -> impl Strategy<Value = Polygon> {
-    (arb_point(), proptest::collection::vec(0.5f64..20.0, 3..16)).prop_map(|(c, radii)| {
-        let n = radii.len();
-        Polygon::new(
-            radii
-                .iter()
-                .enumerate()
-                .map(|(i, &r)| {
-                    let a = std::f64::consts::TAU * i as f64 / n as f64;
-                    Point::new(c.x + r * a.cos(), c.y + r * a.sin())
-                })
-                .collect(),
-        )
-        .unwrap()
-    })
+fn polygon(rng: &mut Rng) -> Polygon {
+    let c = point(rng);
+    let n = rng.gen_range(3usize..16);
+    Polygon::new(
+        (0..n)
+            .map(|i| {
+                let r = rng.gen_range(0.5f64..20.0);
+                let a = std::f64::consts::TAU * i as f64 / n as f64;
+                Point::new(c.x + r * a.cos(), c.y + r * a.sin())
+            })
+            .collect(),
+    )
+    .unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn segment_intersection_is_symmetric(a in arb_segment(), b in arb_segment()) {
-        prop_assert_eq!(segments_intersect(&a, &b), segments_intersect(&b, &a));
+#[test]
+fn segment_intersection_is_symmetric() {
+    let mut rng = Rng::seed_from_u64(11);
+    for _ in 0..CASES {
+        let (a, b) = (segment(&mut rng), segment(&mut rng));
+        assert_eq!(segments_intersect(&a, &b), segments_intersect(&b, &a));
     }
+}
 
-    #[test]
-    fn segment_intersects_itself_and_reverse(a in arb_segment()) {
-        prop_assert!(segments_intersect(&a, &a));
+#[test]
+fn segment_intersects_itself_and_reverse() {
+    let mut rng = Rng::seed_from_u64(12);
+    for _ in 0..CASES {
+        let a = segment(&mut rng);
+        assert!(segments_intersect(&a, &a));
         let rev = Segment::new(a.b, a.a);
-        prop_assert!(segments_intersect(&a, &rev));
+        assert!(segments_intersect(&a, &rev));
     }
+}
 
-    #[test]
-    fn segment_distance_zero_iff_intersecting(a in arb_segment(), b in arb_segment()) {
+#[test]
+fn segment_distance_zero_iff_intersecting() {
+    let mut rng = Rng::seed_from_u64(13);
+    for _ in 0..CASES {
+        let (a, b) = (segment(&mut rng), segment(&mut rng));
         let d = a.distance_to_segment(&b);
         if segments_intersect(&a, &b) {
-            prop_assert!(d == 0.0);
+            assert!(d == 0.0);
         } else {
-            prop_assert!(d > 0.0);
+            assert!(d > 0.0);
         }
     }
+}
 
-    #[test]
-    fn point_distance_respects_containment(poly in arb_polygon(), p in arb_point()) {
+#[test]
+fn point_distance_respects_containment() {
+    let mut rng = Rng::seed_from_u64(14);
+    for _ in 0..CASES {
+        let poly = polygon(&mut rng);
+        let p = point(&mut rng);
         let d = poly.distance_to_point(&p);
-        prop_assert!(d >= 0.0);
+        assert!(d >= 0.0);
         if poly.contains_point(&p) {
-            prop_assert!(d == 0.0);
+            assert!(d == 0.0);
         }
     }
+}
 
-    #[test]
-    fn polygon_centroid_inside_bbox(poly in arb_polygon()) {
+#[test]
+fn polygon_centroid_inside_bbox() {
+    let mut rng = Rng::seed_from_u64(15);
+    for _ in 0..CASES {
         // (For star-shaped polygons the area centroid lies in the bbox.)
-        prop_assert!(poly.bbox().expand(1e-9).contains_point(&poly.centroid()));
+        let poly = polygon(&mut rng);
+        assert!(poly.bbox().expand(1e-9).contains_point(&poly.centroid()));
     }
+}
 
-    #[test]
-    fn polygon_area_invariant_under_rotation_of_vertices(poly in arb_polygon(), k in 0usize..16) {
+#[test]
+fn polygon_area_invariant_under_rotation_of_vertices() {
+    let mut rng = Rng::seed_from_u64(16);
+    for _ in 0..CASES {
+        let poly = polygon(&mut rng);
+        let k = rng.index(16);
         let ring = poly.ring();
         let n = ring.len();
         let rotated: Vec<Point> = (0..n).map(|i| ring[(i + k % n) % n]).collect();
         let rot = Polygon::new(rotated).unwrap();
-        prop_assert!((rot.area() - poly.area()).abs() < 1e-9 * poly.area().max(1.0));
-        prop_assert_eq!(rot.bbox(), poly.bbox());
+        assert!((rot.area() - poly.area()).abs() < 1e-9 * poly.area().max(1.0));
+        assert_eq!(rot.bbox(), poly.bbox());
     }
+}
 
-    #[test]
-    fn overlaps_is_symmetric(a in arb_polygon(), b in arb_polygon()) {
-        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+#[test]
+fn overlaps_is_symmetric() {
+    let mut rng = Rng::seed_from_u64(17);
+    for _ in 0..CASES {
+        let (a, b) = (polygon(&mut rng), polygon(&mut rng));
+        assert_eq!(a.overlaps(&b), b.overlaps(&a));
     }
+}
 
-    #[test]
-    fn polygon_overlaps_itself_and_its_bbox(a in arb_polygon()) {
-        prop_assert!(a.overlaps(&a));
-        prop_assert!(a.overlaps_rect(&a.bbox()));
+#[test]
+fn polygon_overlaps_itself_and_its_bbox() {
+    let mut rng = Rng::seed_from_u64(18);
+    for _ in 0..CASES {
+        let a = polygon(&mut rng);
+        assert!(a.overlaps(&a));
+        assert!(a.overlaps_rect(&a.bbox()));
     }
+}
 
-    #[test]
-    fn bbox_vertices_inside(a in arb_polygon()) {
+#[test]
+fn bbox_vertices_inside() {
+    let mut rng = Rng::seed_from_u64(19);
+    for _ in 0..CASES {
+        let a = polygon(&mut rng);
         for p in a.ring() {
-            prop_assert!(a.bbox().contains_point(p));
+            assert!(a.bbox().contains_point(p));
         }
     }
+}
 
-    #[test]
-    fn clip_commutes_with_area_monotonicity(a in arb_polygon(), w1 in (arb_point(), arb_point()), grow in 0.1f64..10.0) {
-        let w = Rect::from_corners(w1.0, w1.1).unwrap();
+#[test]
+fn clip_commutes_with_area_monotonicity() {
+    let mut rng = Rng::seed_from_u64(20);
+    for _ in 0..CASES {
+        let a = polygon(&mut rng);
+        let w = Rect::from_corners(point(&mut rng), point(&mut rng)).unwrap();
+        let grow = rng.gen_range(0.1f64..10.0);
         let bigger = w.expand(grow);
         let inner = clip::clipped_area(&a, &w);
         let outer = clip::clipped_area(&a, &bigger);
-        prop_assert!(outer + 1e-9 >= inner, "growing the window cannot shrink the clip");
+        assert!(outer + 1e-9 >= inner, "growing the window cannot shrink the clip");
     }
+}
 
-    #[test]
-    fn polyline_length_additive_under_densification(pts in proptest::collection::vec(arb_point(), 2..10)) {
+#[test]
+fn polyline_length_additive_under_densification() {
+    let mut rng = Rng::seed_from_u64(21);
+    for _ in 0..CASES {
+        let n = rng.gen_range(2usize..10);
+        let pts: Vec<Point> = (0..n).map(|_| point(&mut rng)).collect();
         let line = Polyline::new(pts).unwrap();
         // Inserting each segment midpoint must not change the length.
         let mut dense = Vec::new();
@@ -119,34 +164,50 @@ proptest! {
         }
         dense.push(*points.last().unwrap());
         let dl = Polyline::new(dense).unwrap();
-        prop_assert!((dl.length() - line.length()).abs() < 1e-9 * line.length().max(1.0));
+        assert!((dl.length() - line.length()).abs() < 1e-9 * line.length().max(1.0));
     }
+}
 
-    #[test]
-    fn circle_bbox_contains_circle_points(c in arb_point(), r in 0.0f64..50.0, angle in 0.0f64..std::f64::consts::TAU) {
+#[test]
+fn circle_bbox_contains_circle_points() {
+    let mut rng = Rng::seed_from_u64(22);
+    for _ in 0..CASES {
+        let c = point(&mut rng);
+        let r = rng.gen_range(0.0f64..50.0);
+        let angle = rng.gen_range(0.0..std::f64::consts::TAU);
         let circle = Circle::new(c, r).unwrap();
         let on_circle = Point::new(c.x + r * angle.cos(), c.y + r * angle.sin());
-        prop_assert!(circle.bbox().expand(1e-9).contains_point(&on_circle));
+        assert!(circle.bbox().expand(1e-9).contains_point(&on_circle));
         // On-circle points are contained up to numeric slack at the boundary.
-        let contained =
-            circle.contains_point(&on_circle) || c.distance(&on_circle) <= r + 1e-9;
-        prop_assert!(contained);
+        let contained = circle.contains_point(&on_circle) || c.distance(&on_circle) <= r + 1e-9;
+        assert!(contained);
     }
+}
 
-    #[test]
-    fn grid_point_tile_is_in_covering_set(p in arb_point(), tiles in 4u32..5000) {
-        let world = Rect::from_corners(Point::new(-100.0, -100.0), Point::new(100.0, 100.0)).unwrap();
+#[test]
+fn grid_point_tile_is_in_covering_set() {
+    let mut rng = Rng::seed_from_u64(23);
+    for _ in 0..CASES {
+        let p = point(&mut rng);
+        let tiles = rng.gen_range(4u32..5000);
+        let world =
+            Rect::from_corners(Point::new(-100.0, -100.0), Point::new(100.0, 100.0)).unwrap();
         let grid = Grid::with_tile_count(world, tiles).unwrap();
         let tile = grid.tile_of_point(&p);
-        prop_assert!(grid.tile_rect(tile).expand(1e-9).contains_point(&p));
+        assert!(grid.tile_rect(tile).expand(1e-9).contains_point(&p));
         let ids = grid.tile_ids_for_rect(&p.bbox());
-        prop_assert!(ids.contains(&tile));
+        assert!(ids.contains(&tile));
     }
+}
 
-    #[test]
-    fn make_box_contains_its_center(p in arb_point(), len in 0.1f64..40.0) {
+#[test]
+fn make_box_contains_its_center() {
+    let mut rng = Rng::seed_from_u64(24);
+    for _ in 0..CASES {
+        let p = point(&mut rng);
+        let len = rng.gen_range(0.1f64..40.0);
         let b = p.make_box(len);
-        prop_assert!(b.contains_point(&p));
-        prop_assert!((b.area() - len * len).abs() < 1e-9 * len * len);
+        assert!(b.contains_point(&p));
+        assert!((b.area() - len * len).abs() < 1e-9 * len * len);
     }
 }

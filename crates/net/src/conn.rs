@@ -1,0 +1,135 @@
+//! Connection management: timeouts, bounded retry with exponential
+//! backoff, and socket defaults shared by every QC/DS connection.
+
+use paradise_exec::{ExecError, Result};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Tunables for every connection the transport makes.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Per-attempt TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Socket read timeout. Reads that time out *between* frames count as
+    /// idle (connections may legitimately sit quiet under backpressure);
+    /// mid-frame timeouts are bounded separately.
+    pub read_timeout: Duration,
+    /// How long a sender waits for flow-control credit before declaring
+    /// the receiver stalled or dead.
+    pub send_timeout: Duration,
+    /// Connect attempts beyond the first.
+    pub max_retries: u32,
+    /// Backoff before retry `n` is `base_backoff << n`, so the default
+    /// schedule is 25 ms, 50 ms, 100 ms, 200 ms.
+    pub base_backoff: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> NetConfig {
+        NetConfig {
+            connect_timeout: Duration::from_secs(1),
+            read_timeout: Duration::from_millis(100),
+            send_timeout: Duration::from_secs(5),
+            max_retries: 4,
+            base_backoff: Duration::from_millis(25),
+        }
+    }
+}
+
+impl NetConfig {
+    /// A configuration with short waits for tests that exercise failure
+    /// paths (stalled peers, dead servers) without multi-second sleeps.
+    pub fn fast_fail() -> NetConfig {
+        NetConfig {
+            connect_timeout: Duration::from_millis(200),
+            read_timeout: Duration::from_millis(20),
+            send_timeout: Duration::from_millis(300),
+            max_retries: 2,
+            base_backoff: Duration::from_millis(10),
+        }
+    }
+}
+
+/// Applies the socket defaults every Paradise connection uses: bounded
+/// reads plus `TCP_NODELAY` (frames are small; Nagle would serialise the
+/// credit round-trips that flow control depends on).
+pub fn configure(conn: &TcpStream, cfg: &NetConfig) -> Result<()> {
+    conn.set_read_timeout(Some(cfg.read_timeout))
+        .map_err(|e| ExecError::Other(format!("net setup: {e}")))?;
+    conn.set_nodelay(true).map_err(|e| ExecError::Other(format!("net setup: {e}")))?;
+    Ok(())
+}
+
+/// Connects to `addr`, retrying up to `cfg.max_retries` times with
+/// exponential backoff — a data server that is still binding its listener
+/// (cluster start-up) looks identical to a dead one, and backoff rides out
+/// the former without hanging on the latter.
+pub fn connect_with_retry(addr: SocketAddr, cfg: &NetConfig) -> Result<TcpStream> {
+    let mut last_err = None;
+    for attempt in 0..=cfg.max_retries {
+        if attempt > 0 {
+            std::thread::sleep(cfg.base_backoff * (1 << (attempt - 1)));
+        }
+        match TcpStream::connect_timeout(&addr, cfg.connect_timeout) {
+            Ok(conn) => {
+                configure(&conn, cfg)?;
+                return Ok(conn);
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(ExecError::Other(format!(
+        "net connect: {addr} unreachable after {} attempts: {}",
+        cfg.max_retries + 1,
+        last_err.expect("at least one attempt")
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn connect_to_live_listener() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let conn = connect_with_retry(addr, &NetConfig::fast_fail()).unwrap();
+        assert!(conn.peer_addr().is_ok());
+    }
+
+    #[test]
+    fn connect_retries_until_server_appears() {
+        // Reserve a port, free it, and only start the real listener after
+        // the first attempt has already failed: success proves retry.
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap();
+        drop(probe);
+        let spawn = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            let listener = TcpListener::bind(addr).unwrap();
+            let _ = listener.accept();
+        });
+        let cfg = NetConfig {
+            max_retries: 8,
+            base_backoff: Duration::from_millis(15),
+            ..NetConfig::fast_fail()
+        };
+        let conn = connect_with_retry(addr, &cfg);
+        spawn.join().unwrap();
+        assert!(conn.is_ok(), "{:?}", conn.err().map(|e| e.to_string()));
+    }
+
+    #[test]
+    fn connect_gives_up_after_bounded_retries() {
+        // A port with nothing listening on it.
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap();
+        drop(probe);
+        let t0 = std::time::Instant::now();
+        let err = connect_with_retry(addr, &NetConfig::fast_fail()).unwrap_err();
+        assert!(err.to_string().contains("after 3 attempts"), "{err}");
+        // Bounded: fast-fail config must not spin for seconds.
+        assert!(t0.elapsed() < Duration::from_secs(5));
+    }
+}

@@ -1,0 +1,243 @@
+//! Credit-based flow control.
+//!
+//! A wire stream mirrors the semantics of the engine's bounded channels
+//! (`mem_stream`/`network_stream` with a window of `W` tuples): at most
+//! `W` tuples are in flight between sender and receiver, and a sender
+//! whose receiver stalls blocks — identical backpressure behaviour on
+//! both transports.
+//!
+//! Mechanically: the sender starts with `W` credits ([`CreditGate`]),
+//! spends one per tuple, and blocks (bounded by a timeout) at zero. The
+//! receiving side buffers tuples in a bounded [`Inbox`]; each consumer
+//! `pop` returns one credit to the sender as a [`Frame::Credit`] on the
+//! reverse direction of the same TCP connection.
+
+use crate::frame::{write_frame, Frame};
+use paradise_exec::{ExecError, Result, Tuple};
+use std::collections::VecDeque;
+use std::net::TcpStream;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+fn lock_err<T>(e: std::sync::PoisonError<T>) -> T {
+    e.into_inner()
+}
+
+struct GateState {
+    credits: u64,
+    closed: Option<String>,
+}
+
+/// Sender-side credit counter: `acquire` blocks until the receiver has
+/// granted room (or the link dies / the wait times out).
+pub struct CreditGate {
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+impl CreditGate {
+    /// A gate holding `initial` credits (the stream's window).
+    pub fn new(initial: u64) -> CreditGate {
+        CreditGate {
+            state: Mutex::new(GateState { credits: initial, closed: None }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Takes one credit, waiting up to `timeout` for the receiver.
+    pub fn acquire(&self, timeout: Duration) -> Result<()> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock().unwrap_or_else(lock_err);
+        loop {
+            if let Some(reason) = &st.closed {
+                return Err(ExecError::Other(format!("stream closed: {reason}")));
+            }
+            if st.credits > 0 {
+                st.credits -= 1;
+                return Ok(());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(ExecError::Other(
+                    "flow-control timeout: receiver granted no credit (stalled or dead peer)"
+                        .into(),
+                ));
+            }
+            let (guard, _) = self.cv.wait_timeout(st, deadline - now).unwrap_or_else(lock_err);
+            st = guard;
+        }
+    }
+
+    /// Returns `n` credits (receiver consumed `n` tuples).
+    pub fn grant(&self, n: u64) {
+        let mut st = self.state.lock().unwrap_or_else(lock_err);
+        st.credits += n;
+        self.cv.notify_all();
+    }
+
+    /// Marks the stream dead; pending and future `acquire`s fail fast.
+    pub fn close(&self, reason: &str) {
+        let mut st = self.state.lock().unwrap_or_else(lock_err);
+        if st.closed.is_none() {
+            st.closed = Some(reason.to_string());
+        }
+        self.cv.notify_all();
+    }
+}
+
+struct InboxState {
+    queue: VecDeque<Tuple>,
+    eos: bool,
+    error: Option<String>,
+    /// Reverse direction of the stream's TCP connection, used to return
+    /// credits from the consumer thread.
+    credit_sink: Option<TcpStream>,
+}
+
+/// Receiver-side bounded tuple buffer (capacity = the stream window).
+pub struct Inbox {
+    state: Mutex<InboxState>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+impl Inbox {
+    /// An empty inbox holding at most `capacity` tuples.
+    pub fn new(capacity: usize) -> Inbox {
+        Inbox {
+            state: Mutex::new(InboxState {
+                queue: VecDeque::new(),
+                eos: false,
+                error: None,
+                credit_sink: None,
+            }),
+            cv: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Attaches the connection on which `pop` returns credits.
+    pub fn set_credit_sink(&self, conn: TcpStream) {
+        self.state.lock().unwrap_or_else(lock_err).credit_sink = Some(conn);
+    }
+
+    /// Enqueues a received tuple (called by the connection reader). Blocks
+    /// if the buffer is full — with a well-behaved peer this never
+    /// happens, because credits bound the tuples in flight.
+    pub fn push(&self, t: Tuple) {
+        let mut st = self.state.lock().unwrap_or_else(lock_err);
+        while st.queue.len() >= self.capacity && st.error.is_none() {
+            st = self.cv.wait(st).unwrap_or_else(lock_err);
+        }
+        st.queue.push_back(t);
+        self.cv.notify_all();
+    }
+
+    /// Marks the stream complete (peer sent EOS).
+    pub fn finish(&self) {
+        let mut st = self.state.lock().unwrap_or_else(lock_err);
+        st.eos = true;
+        self.cv.notify_all();
+    }
+
+    /// Marks the stream broken (peer died / protocol error).
+    pub fn fail(&self, reason: &str) {
+        let mut st = self.state.lock().unwrap_or_else(lock_err);
+        if st.error.is_none() {
+            st.error = Some(reason.to_string());
+        }
+        self.cv.notify_all();
+    }
+
+    /// Dequeues the next tuple, blocking until one arrives, the peer
+    /// finishes, or the link dies. Returns `None` on EOS *and* on link
+    /// failure — check [`Inbox::error`] to distinguish. Each successful
+    /// pop returns one credit to the sender.
+    pub fn pop(&self) -> Option<Tuple> {
+        let mut st = self.state.lock().unwrap_or_else(lock_err);
+        loop {
+            if let Some(t) = st.queue.pop_front() {
+                self.cv.notify_all();
+                // Return the credit on the reverse channel. Failures mean
+                // the sender is gone; its own error handling covers that.
+                if let Some(conn) = &mut st.credit_sink {
+                    let _ = write_frame(conn, &Frame::Credit(1));
+                }
+                return Some(t);
+            }
+            if st.eos || st.error.is_some() {
+                return None;
+            }
+            st = self.cv.wait(st).unwrap_or_else(lock_err);
+        }
+    }
+
+    /// The abnormal-termination reason, if the link died.
+    pub fn error(&self) -> Option<String> {
+        self.state.lock().unwrap_or_else(lock_err).error.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paradise_exec::value::Value;
+    use std::sync::Arc;
+
+    #[test]
+    fn gate_blocks_and_unblocks() {
+        let gate = Arc::new(CreditGate::new(2));
+        gate.acquire(Duration::from_millis(10)).unwrap();
+        gate.acquire(Duration::from_millis(10)).unwrap();
+        // Exhausted: acquire times out.
+        assert!(gate.acquire(Duration::from_millis(20)).is_err());
+        // A concurrent grant unblocks a waiting acquire.
+        let g2 = gate.clone();
+        let waiter = std::thread::spawn(move || g2.acquire(Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(10));
+        gate.grant(1);
+        waiter.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn gate_close_fails_fast() {
+        let gate = Arc::new(CreditGate::new(0));
+        let g2 = gate.clone();
+        let waiter = std::thread::spawn(move || g2.acquire(Duration::from_secs(30)));
+        std::thread::sleep(Duration::from_millis(10));
+        gate.close("peer died");
+        let err = waiter.join().unwrap().unwrap_err();
+        assert!(err.to_string().contains("peer died"), "{err}");
+    }
+
+    #[test]
+    fn inbox_pop_blocks_until_push_and_drains_after_eos() {
+        let inbox = Arc::new(Inbox::new(4));
+        let i2 = inbox.clone();
+        let consumer = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            while let Some(t) = i2.pop() {
+                got.push(t);
+            }
+            got
+        });
+        for v in 0..3 {
+            inbox.push(Tuple::new(vec![Value::Int(v)]));
+        }
+        inbox.finish();
+        let got = consumer.join().unwrap();
+        assert_eq!(got.len(), 3);
+        assert!(inbox.error().is_none());
+    }
+
+    #[test]
+    fn inbox_fail_wakes_consumer() {
+        let inbox = Arc::new(Inbox::new(4));
+        let i2 = inbox.clone();
+        let consumer = std::thread::spawn(move || i2.pop());
+        std::thread::sleep(Duration::from_millis(10));
+        inbox.fail("connection reset");
+        assert!(consumer.join().unwrap().is_none());
+        assert_eq!(inbox.error().unwrap(), "connection reset");
+    }
+}

@@ -1,0 +1,283 @@
+//! The data-server accept loop.
+//!
+//! Paper §2.2/Figure 2.1: each node runs a Data Server process; the Query
+//! Coordinator talks to all of them. Here one [`DataServer`] listens per
+//! cluster endpoint (every DS node plus one store-less listener for the
+//! QC) and serves three kinds of connection:
+//!
+//! * **tuple streams** — a peer opens with [`Frame::OpenStream`] and
+//!   pushes credit-controlled tuples into the registered [`Inbox`];
+//! * **tile pulls** — [`Frame::PullTile`] requests are answered from the
+//!   node's raster tile file (§2.5.2); a connection serves many pulls;
+//! * **remote scans** — [`Frame::Scan`] starts a scan operator on the
+//!   serving node, streaming a fragment's tuples back under the client's
+//!   credit window.
+
+use crate::conn::NetConfig;
+use crate::flow::{CreditGate, Inbox};
+use crate::frame::{read_frame, write_frame, Frame, ReadOutcome};
+use paradise_exec::raster_store::TILE_FILE;
+use paradise_exec::{ExecError, Result, Tuple};
+use paradise_storage::{Oid, Store};
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+fn lock_err<T>(e: std::sync::PoisonError<T>) -> T {
+    e.into_inner()
+}
+
+/// Maps stream ids to the inboxes awaiting them. Shared by every server
+/// in the process; stream ids are allocated centrally by the transport.
+#[derive(Default)]
+pub struct Registry {
+    streams: Mutex<HashMap<u64, Arc<Inbox>>>,
+}
+
+impl Registry {
+    /// Announces an inbox for stream `id` (done *before* the sender
+    /// connects, so the server can never see an unknown id from a
+    /// well-behaved peer).
+    pub fn register(&self, id: u64, inbox: Arc<Inbox>) {
+        self.streams.lock().unwrap_or_else(lock_err).insert(id, inbox);
+    }
+
+    /// Claims (removes) the inbox for stream `id`.
+    pub fn take(&self, id: u64) -> Option<Arc<Inbox>> {
+        self.streams.lock().unwrap_or_else(lock_err).remove(&id)
+    }
+}
+
+/// One listening endpoint of the cluster.
+pub struct DataServer {
+    addr: SocketAddr,
+    shut: Arc<AtomicBool>,
+    accept_join: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl DataServer {
+    /// Binds a loopback listener and starts the accept loop. `store` is
+    /// `None` for the QC endpoint (it receives streams but owns no data).
+    pub fn start(
+        store: Option<Arc<Store>>,
+        registry: Arc<Registry>,
+        cfg: NetConfig,
+    ) -> Result<DataServer> {
+        let listener = TcpListener::bind("127.0.0.1:0")
+            .map_err(|e| ExecError::Other(format!("net bind: {e}")))?;
+        let addr = listener.local_addr().map_err(|e| ExecError::Other(format!("net bind: {e}")))?;
+        listener.set_nonblocking(true).map_err(|e| ExecError::Other(format!("net bind: {e}")))?;
+        let shut = Arc::new(AtomicBool::new(false));
+        let shut2 = shut.clone();
+        let accept_join = std::thread::spawn(move || {
+            while !shut2.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((conn, _peer)) => {
+                        let store = store.clone();
+                        let registry = registry.clone();
+                        let cfg = cfg.clone();
+                        let shut = shut2.clone();
+                        std::thread::spawn(move || handle(conn, store, registry, cfg, shut));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(DataServer { addr, shut, accept_join: Mutex::new(Some(accept_join)) })
+    }
+
+    /// The address peers connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting and winds down handler threads. Idempotent.
+    pub fn shutdown(&self) {
+        self.shut.store(true, Ordering::Relaxed);
+        if let Some(j) = self.accept_join.lock().unwrap_or_else(lock_err).take() {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for DataServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Dispatches one accepted connection by its first frame.
+fn handle(
+    mut conn: TcpStream,
+    store: Option<Arc<Store>>,
+    registry: Arc<Registry>,
+    cfg: NetConfig,
+    shut: Arc<AtomicBool>,
+) {
+    let _ = conn.set_read_timeout(Some(cfg.read_timeout));
+    let _ = conn.set_nodelay(true);
+    loop {
+        match read_frame(&mut conn) {
+            Ok(ReadOutcome::Frame(Frame::OpenStream { stream, window })) => {
+                serve_stream(conn, &registry, stream, window, &shut);
+                return;
+            }
+            Ok(ReadOutcome::Frame(Frame::PullTile(oid))) => {
+                // Pull connections are pooled: keep answering requests on
+                // this socket until the peer hangs up.
+                if serve_pull(&mut conn, store.as_deref(), &oid).is_err() {
+                    return;
+                }
+            }
+            Ok(ReadOutcome::Frame(Frame::Scan { file, window })) => {
+                serve_scan(conn, store.as_deref(), &cfg, &file, window);
+                return;
+            }
+            Ok(ReadOutcome::Frame(_)) => {
+                let _ = write_frame(&mut conn, &Frame::Error("unexpected frame".into()));
+                return;
+            }
+            Ok(ReadOutcome::Idle) => {
+                if shut.load(Ordering::Relaxed) {
+                    return;
+                }
+            }
+            Ok(ReadOutcome::Closed) | Err(_) => return,
+        }
+    }
+}
+
+/// Receives a credit-controlled tuple stream into its registered inbox.
+fn serve_stream(
+    mut conn: TcpStream,
+    registry: &Registry,
+    stream: u64,
+    _window: u32,
+    shut: &AtomicBool,
+) {
+    let Some(inbox) = registry.take(stream) else {
+        let _ = write_frame(&mut conn, &Frame::Error(format!("unknown stream {stream}")));
+        return;
+    };
+    // The reverse direction of this socket carries the credits granted as
+    // the consumer pops tuples.
+    match conn.try_clone() {
+        Ok(back) => inbox.set_credit_sink(back),
+        Err(e) => {
+            inbox.fail(&format!("credit channel: {e}"));
+            return;
+        }
+    }
+    loop {
+        match read_frame(&mut conn) {
+            Ok(ReadOutcome::Frame(Frame::Tuple(bytes))) => match Tuple::decode(&bytes) {
+                Ok(t) => inbox.push(t),
+                Err(e) => {
+                    inbox.fail(&format!("tuple decode: {e}"));
+                    return;
+                }
+            },
+            Ok(ReadOutcome::Frame(Frame::Eos)) => {
+                inbox.finish();
+                return;
+            }
+            Ok(ReadOutcome::Frame(Frame::Error(msg))) => {
+                inbox.fail(&msg);
+                return;
+            }
+            Ok(ReadOutcome::Frame(_)) => {
+                inbox.fail("unexpected frame on tuple stream");
+                return;
+            }
+            Ok(ReadOutcome::Idle) => {
+                if shut.load(Ordering::Relaxed) {
+                    inbox.fail("server shutdown");
+                    return;
+                }
+            }
+            Ok(ReadOutcome::Closed) => {
+                inbox.fail("sender closed connection before EOS");
+                return;
+            }
+            Err(e) => {
+                inbox.fail(&e.to_string());
+                return;
+            }
+        }
+    }
+}
+
+/// Answers one tile pull from the node's raster tile file. The raw stored
+/// bytes cross the wire; decompression stays with the requester (§2.5.2).
+fn serve_pull(conn: &mut TcpStream, store: Option<&Store>, oid_bytes: &[u8; 10]) -> Result<()> {
+    let reply = (|| -> Result<Frame> {
+        let store = store.ok_or_else(|| ExecError::NotFound("no store on this endpoint".into()))?;
+        let oid = Oid::from_bytes(oid_bytes).ok_or(ExecError::Codec("bad oid in PullTile"))?;
+        let file = store.file(TILE_FILE).ok_or_else(|| ExecError::NotFound("tile file".into()))?;
+        Ok(Frame::TileData(file.read(oid)?))
+    })();
+    match reply {
+        Ok(frame) => write_frame(conn, &frame).map(|_| ()),
+        Err(e) => {
+            // Report the failure to the peer but keep the connection: a
+            // missing tile must not poison the pooled socket.
+            write_frame(conn, &Frame::Error(e.to_string())).map(|_| ())
+        }
+    }
+}
+
+/// Runs a scan operator for a remote peer: every record of the fragment's
+/// heap file goes back as a tuple frame, gated by the client's credits.
+fn serve_scan(
+    mut conn: TcpStream,
+    store: Option<&Store>,
+    cfg: &NetConfig,
+    file: &str,
+    window: u32,
+) {
+    let Some(file) = store.and_then(|s| s.file(file)) else {
+        let _ = write_frame(&mut conn, &Frame::Error(format!("no fragment file {file:?}")));
+        return;
+    };
+    let gate = Arc::new(CreditGate::new(u64::from(window)));
+    // Reverse direction: the client returns credits as it consumes.
+    let Ok(mut back) = conn.try_clone() else {
+        let _ = write_frame(&mut conn, &Frame::Error("credit channel failed".into()));
+        return;
+    };
+    let gate2 = gate.clone();
+    std::thread::spawn(move || loop {
+        match read_frame(&mut back) {
+            Ok(ReadOutcome::Frame(Frame::Credit(n))) => gate2.grant(u64::from(n)),
+            Ok(ReadOutcome::Idle) => {}
+            Ok(ReadOutcome::Frame(_)) | Ok(ReadOutcome::Closed) | Err(_) => {
+                gate2.close("scan client went away");
+                return;
+            }
+        }
+    });
+    let mut failure: Option<ExecError> = None;
+    let walk = file.for_each(|_, bytes| {
+        let step = gate
+            .acquire(cfg.send_timeout)
+            .and_then(|()| write_frame(&mut conn, &Frame::Tuple(bytes)).map(|_| ()));
+        if let Err(e) = step {
+            failure = Some(e);
+            return Err(paradise_storage::StorageError::Corrupt("remote scan aborted"));
+        }
+        Ok(())
+    });
+    if let Some(e) = failure {
+        let _ = write_frame(&mut conn, &Frame::Error(e.to_string()));
+    } else if let Err(e) = walk {
+        let _ = write_frame(&mut conn, &Frame::Error(e.to_string()));
+    } else {
+        let _ = write_frame(&mut conn, &Frame::Eos);
+    }
+    let _ = conn.shutdown(std::net::Shutdown::Both);
+}

@@ -87,9 +87,7 @@ impl Expr {
                     || args.iter().any(|a| a.mentions_method(name))
             }
             Expr::Call { args, .. } => args.iter().any(|a| a.mentions_method(name)),
-            Expr::Binary { lhs, rhs, .. } => {
-                lhs.mentions_method(name) || rhs.mentions_method(name)
-            }
+            Expr::Binary { lhs, rhs, .. } => lhs.mentions_method(name) || rhs.mentions_method(name),
             _ => false,
         }
     }

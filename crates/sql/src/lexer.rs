@@ -112,10 +112,7 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>> {
                         offset: start,
                     });
                 }
-                out.push(Spanned {
-                    tok: Token::Str(input[i + 1..j].to_string()),
-                    offset: start,
-                });
+                out.push(Spanned { tok: Token::Str(input[i + 1..j].to_string()), offset: start });
                 i = j + 1;
             }
             '-' | '0'..='9' => {
@@ -123,10 +120,7 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>> {
                 if bytes[j] == b'-' {
                     j += 1;
                     if j >= bytes.len() || !bytes[j].is_ascii_digit() {
-                        return Err(ParseError {
-                            message: "dangling '-'".into(),
-                            offset: start,
-                        });
+                        return Err(ParseError { message: "dangling '-'".into(), offset: start });
                     }
                 }
                 let mut is_float = false;
@@ -163,10 +157,7 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>> {
                 {
                     j += 1;
                 }
-                out.push(Spanned {
-                    tok: Token::Ident(input[i..j].to_string()),
-                    offset: start,
-                });
+                out.push(Spanned { tok: Token::Ident(input[i..j].to_string()), offset: start });
                 i = j;
             }
             '.' => {
@@ -236,10 +227,7 @@ mod tests {
             ]
         );
         // "5.clip" must lex the 5 as an int followed by a dot.
-        assert_eq!(
-            toks("5.x"),
-            vec![Token::Int(5), Token::Dot, Token::Ident("x".into())]
-        );
+        assert_eq!(toks("5.x"), vec![Token::Int(5), Token::Dot, Token::Ident("x".into())]);
     }
 
     #[test]

@@ -270,21 +270,17 @@ mod tests {
         assert_eq!(conj.len(), 2);
         assert!(matches!(conj[0], Expr::Binary { op: BinOp::Lt, .. }));
 
-        let s = parse_select("select * from drainage, roads where drainage.shape overlaps roads.shape")
-            .unwrap();
+        let s =
+            parse_select("select * from drainage, roads where drainage.shape overlaps roads.shape")
+                .unwrap();
         assert_eq!(s.tables, vec!["drainage", "roads"]);
-        assert!(matches!(
-            s.where_clause.unwrap(),
-            Expr::Binary { op: BinOp::Overlaps, .. }
-        ));
+        assert!(matches!(s.where_clause.unwrap(), Expr::Binary { op: BinOp::Overlaps, .. }));
     }
 
     #[test]
     fn group_by_closest() {
-        let s = parse_select(
-            "select closest(shape, Point(5, 6)), type from roads group by type",
-        )
-        .unwrap();
+        let s = parse_select("select closest(shape, Point(5, 6)), type from roads group by type")
+            .unwrap();
         let Projection::Exprs(exprs) = &s.projection else { panic!() };
         assert!(exprs[0].is_call("closest"));
         assert_eq!(s.group_by.len(), 1);

@@ -17,7 +17,7 @@ use crate::buffer::BufferPool;
 use crate::page::{Page, PageId, NO_PAGE, PAGE_SIZE};
 use crate::volume::ExtentAllocator;
 use crate::Result;
-use parking_lot::Mutex;
+use paradise_util::sync::Mutex;
 use std::sync::Arc;
 
 /// Serialized node must stay under this budget (page minus header/slots
@@ -46,11 +46,7 @@ struct Node {
 impl Node {
     fn serialized_size(&self) -> usize {
         // header record 9 + slot 4; each entry: key + 8 + slot 4
-        13 + self
-            .entries
-            .iter()
-            .map(|(k, _)| k.len() + 12)
-            .sum::<usize>()
+        13 + self.entries.iter().map(|(k, _)| k.len() + 12).sum::<usize>()
     }
 }
 
@@ -68,12 +64,7 @@ impl BTree {
     pub fn create(pool: Arc<BufferPool>) -> Result<Self> {
         let alloc = ExtentAllocator::new(pool.volume().clone());
         let root = alloc.alloc_page()?;
-        let t = BTree {
-            pool,
-            alloc,
-            root: Mutex::new(root),
-            write_lock: Mutex::new(()),
-        };
+        let t = BTree { pool, alloc, root: Mutex::new(root), write_lock: Mutex::new(()) };
         t.write_node(root, &Node { is_leaf: true, extra: NO_PAGE, entries: Vec::new() }, true)?;
         Ok(t)
     }
@@ -81,12 +72,7 @@ impl BTree {
     /// Reopens a tree from persisted metadata.
     pub fn from_meta(pool: Arc<BufferPool>, meta: BTreeMeta) -> Self {
         let alloc = ExtentAllocator::from_extents(pool.volume().clone(), meta.extents);
-        BTree {
-            pool,
-            alloc,
-            root: Mutex::new(meta.root),
-            write_lock: Mutex::new(()),
-        }
+        BTree { pool, alloc, root: Mutex::new(meta.root), write_lock: Mutex::new(()) }
     }
 
     /// Metadata snapshot for persistence.
@@ -150,11 +136,7 @@ impl BTree {
             let old_root_copy = self.read_node(root)?;
             let left_pid = self.alloc.alloc_page()?;
             self.write_node(left_pid, &old_root_copy, true)?;
-            let new_root = Node {
-                is_leaf: false,
-                extra: left_pid,
-                entries: vec![(sep, right)],
-            };
+            let new_root = Node { is_leaf: false, extra: left_pid, entries: vec![(sep, right)] };
             self.write_node(root, &new_root, false)?;
         }
         Ok(())
@@ -165,9 +147,7 @@ impl BTree {
     fn insert_rec(&self, pid: PageId, key: &[u8], value: u64) -> Result<Option<(Vec<u8>, u64)>> {
         let mut node = self.read_node(pid)?;
         if node.is_leaf {
-            let at = node
-                .entries
-                .partition_point(|(k, v)| (k.as_slice(), *v) < (key, value));
+            let at = node.entries.partition_point(|(k, v)| (k.as_slice(), *v) < (key, value));
             node.entries.insert(at, (key.to_vec(), value));
         } else {
             let child = Self::child_for(&node, key);
@@ -296,17 +276,14 @@ impl BTree {
         let mut p = pid;
         loop {
             let mut node = self.read_node(p)?;
-            if let Some(at) = node
-                .entries
-                .iter()
-                .position(|(k, v)| k.as_slice() == key && *v == value)
+            if let Some(at) =
+                node.entries.iter().position(|(k, v)| k.as_slice() == key && *v == value)
             {
                 node.entries.remove(at);
                 self.write_node(p, &node, false)?;
                 return Ok(true);
             }
-            if node.entries.last().is_some_and(|(k, _)| k.as_slice() > key)
-                || node.extra == NO_PAGE
+            if node.entries.last().is_some_and(|(k, _)| k.as_slice() > key) || node.extra == NO_PAGE
             {
                 return Ok(false);
             }
@@ -333,11 +310,13 @@ impl BTree {
                 let next_pid = self.alloc.alloc_page()?;
                 cur.extra = next_pid;
                 level.push((cur.entries[0].0.clone(), cur_pid));
-                pending.push((cur_pid, std::mem::replace(&mut cur, Node {
-                    is_leaf: true,
-                    extra: NO_PAGE,
-                    entries: Vec::new(),
-                })));
+                pending.push((
+                    cur_pid,
+                    std::mem::replace(
+                        &mut cur,
+                        Node { is_leaf: true, extra: NO_PAGE, entries: Vec::new() },
+                    ),
+                ));
                 cur_pid = next_pid;
             }
             cur.entries.push((k.clone(), *v));
@@ -520,4 +499,3 @@ mod tests {
         assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
     }
 }
-

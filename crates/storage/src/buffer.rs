@@ -11,7 +11,7 @@
 use crate::page::{Page, PageId};
 use crate::volume::Volume;
 use crate::{Result, StorageError};
-use parking_lot::{Mutex, RwLock};
+use paradise_util::sync::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -52,12 +52,12 @@ impl PageGuard {
     }
 
     /// Shared read access to the page.
-    pub fn read(&self) -> parking_lot::RwLockReadGuard<'_, Page> {
+    pub fn read(&self) -> paradise_util::sync::RwLockReadGuard<'_, Page> {
         self.frame.page.read()
     }
 
     /// Exclusive write access; marks the page dirty.
-    pub fn write(&self) -> parking_lot::RwLockWriteGuard<'_, Page> {
+    pub fn write(&self) -> paradise_util::sync::RwLockWriteGuard<'_, Page> {
         self.frame.dirty.store(true, Ordering::Release);
         self.frame.page.write()
     }
@@ -65,9 +65,7 @@ impl PageGuard {
 
 impl Drop for PageGuard {
     fn drop(&mut self) {
-        self.frame
-            .stamp
-            .store(self.clock.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
+        self.frame.stamp.store(self.clock.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
         self.frame.pins.fetch_sub(1, Ordering::AcqRel);
     }
 }
@@ -305,10 +303,7 @@ mod tests {
         let g0 = pool.get_new(e).unwrap();
         let g1 = pool.get_new(e + 1).unwrap();
         // Pool full of pinned pages: next fetch must fail, not evict.
-        assert!(matches!(
-            pool.get_new(e + 2),
-            Err(StorageError::PoolExhausted)
-        ));
+        assert!(matches!(pool.get_new(e + 2), Err(StorageError::PoolExhausted)));
         drop(g0);
         drop(g1);
         assert!(pool.get_new(e + 2).is_ok());

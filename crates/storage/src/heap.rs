@@ -12,7 +12,7 @@ use crate::page::{PageId, SlotId, NO_PAGE, PAGE_SIZE};
 use crate::store::Oid;
 use crate::volume::ExtentAllocator;
 use crate::{Result, StorageError};
-use parking_lot::Mutex;
+use paradise_util::sync::Mutex;
 use std::sync::Arc;
 
 const TAG_INLINE: u8 = 0;
@@ -52,11 +52,7 @@ impl HeapFile {
         let alloc = ExtentAllocator::new(pool.volume().clone());
         let first = alloc.alloc_page()?;
         let _ = pool.get_new(first)?; // initialize empty page
-        Ok(HeapFile {
-            pool,
-            alloc,
-            chain: Mutex::new(Chain { first, last: first, count: 0 }),
-        })
+        Ok(HeapFile { pool, alloc, chain: Mutex::new(Chain { first, last: first, count: 0 }) })
     }
 
     /// Reopens a heap file from its persisted metadata.
@@ -72,12 +68,7 @@ impl HeapFile {
     /// Metadata snapshot for persistence.
     pub fn meta(&self) -> HeapMeta {
         let c = self.chain.lock();
-        HeapMeta {
-            first: c.first,
-            last: c.last,
-            count: c.count,
-            extents: self.alloc.extents(),
-        }
+        HeapMeta { first: c.first, last: c.last, count: c.count, extents: self.alloc.extents() }
     }
 
     /// First page of the chain.
@@ -150,10 +141,9 @@ impl HeapFile {
     pub fn read(&self, oid: Oid) -> Result<Vec<u8>> {
         let g = self.pool.get(oid.page)?;
         let page = g.read();
-        let rec = page.get(oid.slot).map_err(|_| StorageError::BadSlot {
-            page: oid.page,
-            slot: oid.slot,
-        })?;
+        let rec = page
+            .get(oid.slot)
+            .map_err(|_| StorageError::BadSlot { page: oid.page, slot: oid.slot })?;
         let rec = rec.to_vec();
         drop(page);
         self.decode(&rec, oid)
@@ -267,8 +257,7 @@ mod tests {
         let rec = vec![3u8; 1000];
         let oids: Vec<_> = (0..50).map(|_| f.insert(&rec).unwrap()).collect();
         // 1000-byte records, ~8 per page => several pages
-        let distinct_pages: std::collections::HashSet<_> =
-            oids.iter().map(|o| o.page).collect();
+        let distinct_pages: std::collections::HashSet<_> = oids.iter().map(|o| o.page).collect();
         assert!(distinct_pages.len() > 3);
         for oid in &oids {
             assert_eq!(f.read(*oid).unwrap(), rec);
@@ -364,9 +353,7 @@ mod tests {
         for t in 0..4u8 {
             let f = f.clone();
             handles.push(std::thread::spawn(move || {
-                (0..200)
-                    .map(|i| f.insert(&[t, i as u8]).unwrap())
-                    .collect::<Vec<_>>()
+                (0..200).map(|i| f.insert(&[t, i as u8]).unwrap()).collect::<Vec<_>>()
             }));
         }
         let mut all = Vec::new();
@@ -374,8 +361,7 @@ mod tests {
             all.extend(h.join().unwrap());
         }
         assert_eq!(f.count(), 800);
-        let unique: std::collections::HashSet<_> =
-            all.iter().map(|o| (o.page, o.slot)).collect();
+        let unique: std::collections::HashSet<_> = all.iter().map(|o| (o.page, o.slot)).collect();
         assert_eq!(unique.len(), 800, "OIDs must be distinct");
     }
 }

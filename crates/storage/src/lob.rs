@@ -24,16 +24,10 @@ pub const LOB_PAYLOAD: usize = PAGE_SIZE - LOB_HDR;
 /// Writes `data` as a page chain; returns the first page id (a zero-length
 /// LOB still occupies one page so it has an address).
 pub fn write_lob(pool: &BufferPool, alloc: &ExtentAllocator, data: &[u8]) -> Result<PageId> {
-    let chunks: Vec<&[u8]> = if data.is_empty() {
-        vec![&[][..]]
-    } else {
-        data.chunks(LOB_PAYLOAD).collect()
-    };
+    let chunks: Vec<&[u8]> =
+        if data.is_empty() { vec![&[][..]] } else { data.chunks(LOB_PAYLOAD).collect() };
     // Allocate all pages first so each page can record its successor.
-    let pids: Vec<PageId> = chunks
-        .iter()
-        .map(|_| alloc.alloc_page())
-        .collect::<Result<_>>()?;
+    let pids: Vec<PageId> = chunks.iter().map(|_| alloc.alloc_page()).collect::<Result<_>>()?;
     for (i, chunk) in chunks.iter().enumerate() {
         let g = pool.get_new(pids[i])?;
         let mut page = g.write();

@@ -292,22 +292,15 @@ impl RTree {
         // ceil(sqrt(n/M)) groups, sort each slice by center y, pack runs
         // of M into leaves.
         let mut entries = entries;
-        entries.sort_by(|a, b| {
-            a.0.center()
-                .x
-                .partial_cmp(&b.0.center().x)
-                .unwrap_or(CmpOrd::Equal)
-        });
+        entries
+            .sort_by(|a, b| a.0.center().x.partial_cmp(&b.0.center().x).unwrap_or(CmpOrd::Equal));
         let n_leaves = len.div_ceil(MAX_ENTRIES);
         let n_slices = (n_leaves as f64).sqrt().ceil() as usize;
         let slice_size = len.div_ceil(n_slices);
         let mut leaves: Vec<Node> = Vec::with_capacity(n_leaves);
         for slice in entries.chunks_mut(slice_size.max(1)) {
             slice.sort_by(|a, b| {
-                a.0.center()
-                    .y
-                    .partial_cmp(&b.0.center().y)
-                    .unwrap_or(CmpOrd::Equal)
+                a.0.center().y.partial_cmp(&b.0.center().y).unwrap_or(CmpOrd::Equal)
             });
             for run in slice.chunks(MAX_ENTRIES) {
                 leaves.push(Node::Leaf(run.to_vec()));
@@ -319,10 +312,8 @@ impl RTree {
         while level.len() > 1 {
             let mut next = Vec::with_capacity(level.len().div_ceil(MAX_ENTRIES));
             for run in level.chunks(MAX_ENTRIES) {
-                let children: Vec<(Rect, Box<Node>)> = run
-                    .iter()
-                    .map(|n| (n.bbox(), Box::new(n.clone())))
-                    .collect();
+                let children: Vec<(Rect, Box<Node>)> =
+                    run.iter().map(|n| (n.bbox(), Box::new(n.clone()))).collect();
                 next.push(Node::Inner(children));
             }
             level = next;
@@ -449,8 +440,11 @@ fn choose_subtree(children: &[(Rect, Box<Node>)], rect: &Rect, above_leaf: bool)
     best
 }
 
+/// A leaf's entries: each payload id with its bounding rectangle.
+type Entries = Vec<(Rect, u64)>;
+
 /// R* split for leaf entries.
-fn split_entries(entries: Vec<(Rect, u64)>) -> (Vec<(Rect, u64)>, Vec<(Rect, u64)>) {
+fn split_entries(entries: Entries) -> (Entries, Entries) {
     let rects: Vec<Rect> = entries.iter().map(|(r, _)| *r).collect();
     let (axis_is_x, split_at) = rstar_split_position(&rects);
     let mut entries = entries;
@@ -459,10 +453,11 @@ fn split_entries(entries: Vec<(Rect, u64)>) -> (Vec<(Rect, u64)>, Vec<(Rect, u64
     (entries, right)
 }
 
+/// A node's children, each with its bounding rectangle.
+type Children = Vec<(Rect, Box<Node>)>;
+
 /// R* split for inner children.
-fn split_children(
-    children: Vec<(Rect, Box<Node>)>,
-) -> (Vec<(Rect, Box<Node>)>, Vec<(Rect, Box<Node>)>) {
+fn split_children(children: Children) -> (Children, Children) {
     let rects: Vec<Rect> = children.iter().map(|(r, _)| *r).collect();
     let (axis_is_x, split_at) = rstar_split_position(&rects);
     let mut children = children;
@@ -550,11 +545,8 @@ mod tests {
     }
 
     fn brute_search(data: &[(Rect, u64)], w: &Rect) -> Vec<u64> {
-        let mut v: Vec<u64> = data
-            .iter()
-            .filter(|(r, _)| r.intersects(w))
-            .map(|(_, id)| *id)
-            .collect();
+        let mut v: Vec<u64> =
+            data.iter().filter(|(r, _)| r.intersects(w)).map(|(_, id)| *id).collect();
         v.sort_unstable();
         v
     }
@@ -603,16 +595,10 @@ mod tests {
     fn nearest_matches_brute_force() {
         let data = rnd_rects(300);
         let t = RTree::bulk_load(data.clone());
-        for probe in [
-            Point::new(0.0, 0.0),
-            Point::new(500.0, 500.0),
-            Point::new(1200.0, -50.0),
-        ] {
+        for probe in [Point::new(0.0, 0.0), Point::new(500.0, 500.0), Point::new(1200.0, -50.0)] {
             let (_, _, d) = t.nearest(&probe).unwrap();
-            let brute = data
-                .iter()
-                .map(|(r, _)| r.distance_to_point(&probe))
-                .fold(f64::INFINITY, f64::min);
+            let brute =
+                data.iter().map(|(r, _)| r.distance_to_point(&probe)).fold(f64::INFINITY, f64::min);
             assert!((d - brute).abs() < 1e-9, "probe {probe}: {d} vs {brute}");
         }
     }

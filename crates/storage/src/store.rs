@@ -12,7 +12,7 @@ use crate::page::{PageId, SlotId};
 use crate::volume::Volume;
 use crate::wal::Wal;
 use crate::{Result, StorageError};
-use parking_lot::Mutex;
+use paradise_util::sync::Mutex;
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::Arc;
@@ -73,13 +73,7 @@ impl Store {
             let g = pool.get_new(dir_page)?;
             g.write().insert(&encode_dir(&[])?)?;
         }
-        let store = Store {
-            vol,
-            pool,
-            wal,
-            dir_page,
-            entries: Mutex::new(HashMap::new()),
-        };
+        let store = Store { vol, pool, wal, dir_page, entries: Mutex::new(HashMap::new()) };
         store.commit()?;
         Ok(store)
     }
@@ -170,9 +164,9 @@ impl Store {
             Some(Entry::BTree(t)) => t.meta().extents,
             None => Vec::new(),
         };
-        self.pool.discard_pages(extents.iter().flat_map(|&first| {
-            first..first + crate::volume::EXTENT_PAGES
-        }));
+        self.pool.discard_pages(
+            extents.iter().flat_map(|&first| first..first + crate::volume::EXTENT_PAGES),
+        );
         match e {
             Some(Entry::Heap(f)) => f.free(),
             Some(Entry::BTree(t)) => t.free(),
@@ -201,9 +195,7 @@ impl Store {
         let raw = encode_dir(&list)?;
         let g = self.pool.get(self.dir_page)?;
         let res = g.write().update(0, &raw);
-        res.map_err(|_| {
-            StorageError::Corrupt("directory page overflow (too many files per store)")
-        })
+        res.map_err(|_| StorageError::Corrupt("directory page overflow (too many files per store)"))
     }
 
     /// Durably commits all work: directory + dirty pages go through the WAL

@@ -9,7 +9,7 @@
 
 use crate::page::{Page, PageId, NO_PAGE, PAGE_SIZE};
 use crate::{Result, StorageError};
-use parking_lot::Mutex;
+use paradise_util::sync::Mutex;
 use std::fs::{File, OpenOptions};
 use std::os::unix::fs::FileExt;
 use std::path::Path;
@@ -41,12 +41,8 @@ pub struct Volume {
 impl Volume {
     /// Creates a new volume at `path` (truncating any existing file).
     pub fn create<P: AsRef<Path>>(path: P) -> Result<Self> {
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(path)?;
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
         let vol = Volume {
             file,
             num_pages: AtomicU64::new(1),
@@ -96,10 +92,7 @@ impl Volume {
 
     /// Physical (read, write) page counts since creation/open.
     pub fn io_counts(&self) -> (u64, u64) {
-        (
-            self.reads.load(Ordering::Relaxed),
-            self.writes.load(Ordering::Relaxed),
-        )
+        (self.reads.load(Ordering::Relaxed), self.writes.load(Ordering::Relaxed))
     }
 
     /// Reads page `pid` from disk.
@@ -281,14 +274,8 @@ mod tests {
         let path = tmpdir().join("v2.vol");
         let vol = Volume::create(&path).unwrap();
         assert!(matches!(vol.read_page(0), Err(StorageError::BadPageId(0))));
-        assert!(matches!(
-            vol.write_page(0, &Page::new()),
-            Err(StorageError::BadPageId(0))
-        ));
-        assert!(matches!(
-            vol.read_page(999),
-            Err(StorageError::BadPageId(999))
-        ));
+        assert!(matches!(vol.write_page(0, &Page::new()), Err(StorageError::BadPageId(0))));
+        assert!(matches!(vol.read_page(999), Err(StorageError::BadPageId(999))));
     }
 
     #[test]
@@ -339,10 +326,7 @@ mod tests {
     fn open_rejects_garbage() {
         let path = tmpdir().join("v6.vol");
         std::fs::write(&path, vec![0u8; PAGE_SIZE]).unwrap();
-        assert!(matches!(
-            Volume::open(&path),
-            Err(StorageError::Corrupt(_))
-        ));
+        assert!(matches!(Volume::open(&path), Err(StorageError::Corrupt(_))));
     }
 
     #[test]

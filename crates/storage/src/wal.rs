@@ -19,7 +19,7 @@
 use crate::page::{PageId, PAGE_SIZE};
 use crate::volume::Volume;
 use crate::Result;
-use parking_lot::Mutex;
+use paradise_util::sync::Mutex;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -37,11 +37,7 @@ impl Wal {
     /// Opens (or creates) the log at `path`.
     pub fn open<P: AsRef<Path>>(path: P) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
-        let file = OpenOptions::new()
-            .read(true)
-            .append(true)
-            .create(true)
-            .open(&path)?;
+        let file = OpenOptions::new().read(true).append(true).create(true).open(&path)?;
         Ok(Wal { path, file: Mutex::new(file) })
     }
 
@@ -103,10 +99,9 @@ impl Wal {
                 }
                 KIND_COMMIT => {
                     for (pid, bytes) in pending.drain(..) {
-                        let arr: [u8; PAGE_SIZE] =
-                            bytes.try_into().map_err(|_| {
-                                crate::StorageError::Corrupt("bad page image size")
-                            })?;
+                        let arr: [u8; PAGE_SIZE] = bytes
+                            .try_into()
+                            .map_err(|_| crate::StorageError::Corrupt("bad page image size"))?;
                         vol.write_page_bytes(pid, &arr)?;
                         redone += 1;
                     }

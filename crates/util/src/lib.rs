@@ -1,0 +1,15 @@
+//! # paradise-util
+//!
+//! Dependency-free utilities shared across the workspace. The build runs in
+//! hermetic environments with no crates.io access, so the few external
+//! crates the project would otherwise reach for (lock ergonomics from
+//! `parking_lot`, a seedable RNG from `rand`, randomized-test drivers from
+//! `proptest`) are replaced by the small, std-only implementations here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rng;
+pub mod sync;
+
+pub use rng::Rng;

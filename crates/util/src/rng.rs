@@ -1,0 +1,187 @@
+//! A small, fast, seedable PRNG (xoshiro256++) with `rand`-flavoured
+//! helpers — enough for data generation and randomized tests, with
+//! deterministic replay from a seed. Not cryptographically secure.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic pseudo-random number generator (xoshiro256++).
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Builds a generator from a 64-bit seed (splitmix64 expansion, the
+    /// initialisation recommended by the xoshiro authors).
+    pub fn seed_from_u64(seed: u64) -> Rng {
+        let mut st = seed;
+        Rng {
+            s: [splitmix64(&mut st), splitmix64(&mut st), splitmix64(&mut st), splitmix64(&mut st)],
+        }
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 high bits → the standard [0,1) double construction.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform sample from `range` (supports `a..b` and `a..=b` over
+    /// the common integer types and `f64`).
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Out {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// A uniform index in `[0, len)`; `len` must be non-zero.
+    pub fn index(&mut self, len: usize) -> usize {
+        assert!(len > 0, "index() on empty range");
+        (self.next_u64() % len as u64) as usize
+    }
+
+    /// Fills `buf` with random bytes.
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        for chunk in buf.chunks_mut(8) {
+            let w = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&w[..chunk.len()]);
+        }
+    }
+
+    /// A random byte vector of length `len`.
+    pub fn bytes(&mut self, len: usize) -> Vec<u8> {
+        let mut v = vec![0u8; len];
+        self.fill_bytes(&mut v);
+        v
+    }
+}
+
+/// Ranges [`Rng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled element type.
+    type Out;
+    /// Draws one uniform sample.
+    fn sample(self, rng: &mut Rng) -> Self::Out;
+}
+
+impl SampleRange for Range<f64> {
+    type Out = f64;
+    fn sample(self, rng: &mut Rng) -> f64 {
+        assert!(self.start < self.end, "empty f64 range");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl SampleRange for RangeInclusive<f64> {
+    type Out = f64;
+    fn sample(self, rng: &mut Rng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty f64 range");
+        lo + rng.next_f64() * (hi - lo)
+    }
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Out = $t;
+            fn sample(self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "empty integer range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Out = $t;
+            fn sample(self, rng: &mut Rng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty integer range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range!(i64, u64, i32, u32, u16, u8, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = Rng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+            let f = r.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let u = r.gen_range(3usize..=3);
+            assert_eq!(u, 3);
+            let x = r.gen_range(-1.0f64..=1.0);
+            assert!((-1.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_covers_domain() {
+        let mut r = Rng::seed_from_u64(9);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[r.gen_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_rate() {
+        let mut r = Rng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.2)).count();
+        assert!((1500..2500).contains(&hits), "p=0.2 gave {hits}/10000");
+    }
+
+    #[test]
+    fn fill_bytes_varies() {
+        let mut r = Rng::seed_from_u64(13);
+        let a = r.bytes(32);
+        let b = r.bytes(32);
+        assert_ne!(a, b);
+        assert_eq!(a.len(), 32);
+    }
+}

@@ -16,8 +16,8 @@ use paradise_datagen::tables::{
 fn main() {
     let world = World::generate(WorldSpec::paper_ratio(11, 1, 2000));
     let dir = std::env::temp_dir().join("paradise-closest-example");
-    let mut db = Paradise::create(ParadiseConfig::new(dir, 8).with_grid_tiles(1024))
-        .expect("create");
+    let mut db =
+        Paradise::create(ParadiseConfig::new(dir, 8).with_grid_tiles(1024)).expect("create");
     db.define_table(populated_places_table());
     db.define_table(drainage_table());
     db.load_table("populatedPlaces", world.populated_places.iter().cloned()).unwrap();

@@ -48,9 +48,8 @@ fn main() {
     db.commit().expect("commit");
 
     // Query with the extended SQL dialect (generic scan-filter-project).
-    let result = db
-        .sql("select name, population from cities where population > 1000000")
-        .expect("query");
+    let result =
+        db.sql("select name, population from cities where population > 1000000").expect("query");
     println!("big cities ({} rows):", result.rows.len());
     for row in &result.rows {
         println!(

@@ -15,10 +15,9 @@ fn main() {
     // Generate a small world and load it (benchmark Q1).
     let world = World::generate(WorldSpec::paper_ratio(7, 1, 5000));
     let dir = std::env::temp_dir().join("paradise-sequoia-example");
-    let mut db = Paradise::create(
-        ParadiseConfig::new(dir, 4).with_grid_tiles(1024).with_pool_pages(2048),
-    )
-    .expect("create");
+    let mut db =
+        Paradise::create(ParadiseConfig::new(dir, 4).with_grid_tiles(1024).with_pool_pages(2048))
+            .expect("create");
     db.define_table(raster_table().with_tile_bytes(4096));
     db.define_table(populated_places_table());
     db.define_table(roads_table());
@@ -40,25 +39,44 @@ fn main() {
     let us = "Polygon(-125, 25, -67, 25, -67, 49, -125, 49)";
 
     let statements = [
-        ("Q2", format!(
-            "select raster.date, raster.data.clip({us}) from raster \
+        (
+            "Q2",
+            format!(
+                "select raster.date, raster.data.clip({us}) from raster \
              where raster.channel = 5 order by date"
-        )),
+            ),
+        ),
         ("Q5", "select * from populatedPlaces where name = \"Phoenix\"".to_string()),
         ("Q6", format!("select * from landCover where shape overlaps {us}")),
-        ("Q7", "select shape.area(), type from landCover \
-                where shape < Circle(Point(-90, 40), 25) and shape.area() < 3".to_string()),
-        ("Q8", "select landCover.shape, landCover.type from landCover, populatedPlaces \
+        (
+            "Q7",
+            "select shape.area(), type from landCover \
+                where shape < Circle(Point(-90, 40), 25) and shape.area() < 3"
+                .to_string(),
+        ),
+        (
+            "Q8",
+            "select landCover.shape, landCover.type from landCover, populatedPlaces \
                 where populatedPlaces.name = \"Louisville\" and \
-                landCover.shape overlaps populatedPlaces.location.makeBox(8)".to_string()),
-        ("Q11", "select closest(shape, Point(-89.4, 43.1)), type from roads group by type"
-            .to_string()),
-        ("Q12", "select closest(drainage.shape, populatedPlaces.location), \
+                landCover.shape overlaps populatedPlaces.location.makeBox(8)"
+                .to_string(),
+        ),
+        (
+            "Q11",
+            "select closest(shape, Point(-89.4, 43.1)), type from roads group by type".to_string(),
+        ),
+        (
+            "Q12",
+            "select closest(drainage.shape, populatedPlaces.location), \
                  populatedPlaces.location from drainage, populatedPlaces \
                  where populatedPlaces.location overlaps drainage.shape and \
-                 populatedPlaces.type = 1 group by populatedPlaces.location".to_string()),
-        ("Q13", "select * from drainage, roads where drainage.shape overlaps roads.shape"
-            .to_string()),
+                 populatedPlaces.type = 1 group by populatedPlaces.location"
+                .to_string(),
+        ),
+        (
+            "Q13",
+            "select * from drainage, roads where drainage.shape overlaps roads.shape".to_string(),
+        ),
     ];
 
     println!("\n{:<5}{:>8}{:>14}{:>12}{:>10}", "query", "rows", "simulated", "net KB", "pulls");

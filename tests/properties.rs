@@ -1,202 +1,208 @@
-//! Cross-crate property-based tests (proptest): codec roundtrips, clip
-//! algebra, tiling/LZW invariants, index-vs-model equivalence, grid
-//! covering laws.
+//! Cross-crate randomized property tests: codec roundtrips, clip algebra,
+//! tiling/LZW invariants, index-vs-model equivalence, grid covering laws.
+//! Cases are generated with the deterministic in-repo PRNG, so every run
+//! exercises the same inputs.
 
 use paradise_array::{lzw, ElemType, NdArray, TileMap};
 use paradise_exec::tuple::Tuple;
 use paradise_exec::value::{Date, Value};
 use paradise_geom::{algorithms::clip, Grid, Point, Polygon, Rect};
-use proptest::prelude::*;
+use paradise_util::Rng;
 
-fn arb_point() -> impl Strategy<Value = Point> {
-    (-180.0f64..180.0, -90.0f64..90.0).prop_map(|(x, y)| Point::new(x, y))
+fn point(rng: &mut Rng) -> Point {
+    Point::new(rng.gen_range(-180.0..180.0), rng.gen_range(-90.0..90.0))
 }
 
-fn arb_rect() -> impl Strategy<Value = Rect> {
-    (arb_point(), arb_point()).prop_map(|(a, b)| Rect::from_corners(a, b).unwrap())
+fn rect(rng: &mut Rng) -> Rect {
+    Rect::from_corners(point(rng), point(rng)).unwrap()
 }
 
-fn arb_polygon() -> impl Strategy<Value = Polygon> {
-    // A star-shaped polygon around a center: always simple.
-    (
-        arb_point(),
-        proptest::collection::vec(0.1f64..8.0, 3..12),
-    )
-        .prop_map(|(c, radii)| {
-            let n = radii.len();
-            let ring: Vec<Point> = radii
-                .iter()
-                .enumerate()
-                .map(|(i, &r)| {
-                    let a = std::f64::consts::TAU * i as f64 / n as f64;
-                    Point::new(c.x + r * a.cos(), c.y + r * a.sin())
-                })
-                .collect();
-            Polygon::new(ring).unwrap()
+/// A star-shaped polygon around a center: always simple.
+fn polygon(rng: &mut Rng) -> Polygon {
+    let c = point(rng);
+    let n = rng.gen_range(3usize..12);
+    let ring: Vec<Point> = (0..n)
+        .map(|i| {
+            let r = rng.gen_range(0.1f64..8.0);
+            let a = std::f64::consts::TAU * i as f64 / n as f64;
+            Point::new(c.x + r * a.cos(), c.y + r * a.sin())
         })
+        .collect();
+    Polygon::new(ring).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn lzw_roundtrips_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+#[test]
+fn lzw_roundtrips_arbitrary_bytes() {
+    let mut rng = Rng::seed_from_u64(1);
+    for case in 0..64 {
+        let n = rng.gen_range(0usize..4096);
+        let data = rng.bytes(n);
         let packed = lzw::compress(&data);
-        prop_assert_eq!(lzw::decompress(&packed).unwrap(), data);
+        assert_eq!(lzw::decompress(&packed).unwrap(), data, "case {case}");
     }
+}
 
-    #[test]
-    fn maybe_compress_roundtrips(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+#[test]
+fn maybe_compress_roundtrips() {
+    let mut rng = Rng::seed_from_u64(2);
+    for _ in 0..64 {
+        let n = rng.gen_range(0usize..2048);
+        let data = rng.bytes(n);
         let (bytes, flag) = lzw::maybe_compress(&data);
-        prop_assert_eq!(lzw::maybe_decompress(&bytes, flag).unwrap(), data);
+        assert_eq!(lzw::maybe_decompress(&bytes, flag).unwrap(), data);
     }
+}
 
-    #[test]
-    fn value_codec_roundtrips(
-        i in any::<i64>(),
-        f in -1e12f64..1e12,
-        s in "[a-zA-Z0-9 _-]{0,40}",
-        days in -1_000_000i64..1_000_000,
-    ) {
+#[test]
+fn value_codec_roundtrips() {
+    let mut rng = Rng::seed_from_u64(3);
+    for _ in 0..64 {
+        let s: String = (0..rng.gen_range(0usize..40))
+            .map(|_| (b'a' + (rng.index(26) as u8)) as char)
+            .collect();
         for v in [
-            Value::Int(i),
-            Value::Float(f),
+            Value::Int(rng.next_u64() as i64),
+            Value::Float(rng.gen_range(-1e12f64..1e12)),
             Value::Str(s.clone()),
-            Value::Date(Date(days)),
+            Value::Date(Date(rng.gen_range(-1_000_000i64..1_000_000))),
             Value::Null,
         ] {
             let t = Tuple::new(vec![v]);
-            prop_assert_eq!(Tuple::decode(&t.encode()).unwrap(), t);
+            assert_eq!(Tuple::decode(&t.encode()).unwrap(), t);
         }
     }
+}
 
-    #[test]
-    fn shape_codec_roundtrips(poly in arb_polygon()) {
-        let t = Tuple::new(vec![Value::Shape(paradise_geom::Shape::Polygon(poly))]);
-        prop_assert_eq!(Tuple::decode(&t.encode()).unwrap(), t);
+#[test]
+fn shape_codec_roundtrips() {
+    let mut rng = Rng::seed_from_u64(4);
+    for _ in 0..64 {
+        let t = Tuple::new(vec![Value::Shape(paradise_geom::Shape::Polygon(polygon(&mut rng)))]);
+        assert_eq!(Tuple::decode(&t.encode()).unwrap(), t);
     }
+}
 
-    #[test]
-    fn clip_area_never_exceeds_either_operand(poly in arb_polygon(), window in arb_rect()) {
+#[test]
+fn clip_area_never_exceeds_either_operand() {
+    let mut rng = Rng::seed_from_u64(5);
+    for _ in 0..64 {
+        let poly = polygon(&mut rng);
+        let window = rect(&mut rng);
         let a = clip::clipped_area(&poly, &window);
-        prop_assert!(a <= poly.area() + 1e-6);
-        prop_assert!(a <= window.area() + 1e-6);
-        prop_assert!(a >= 0.0);
+        assert!(a <= poly.area() + 1e-6);
+        assert!(a <= window.area() + 1e-6);
+        assert!(a >= 0.0);
         // Clip against the polygon's own bbox is the whole polygon.
         let full = clip::clipped_area(&poly, &poly.bbox());
-        prop_assert!((full - poly.area()).abs() < 1e-6 * poly.area().max(1.0));
+        assert!((full - poly.area()).abs() < 1e-6 * poly.area().max(1.0));
     }
+}
 
-    #[test]
-    fn clip_result_lies_within_window(poly in arb_polygon(), window in arb_rect()) {
+#[test]
+fn clip_result_lies_within_window() {
+    let mut rng = Rng::seed_from_u64(6);
+    for _ in 0..64 {
+        let poly = polygon(&mut rng);
+        let window = rect(&mut rng);
         if let Some(clipped) = clip::clip_polygon_to_rect(&poly, &window) {
-            prop_assert!(window.expand(1e-9).contains_rect(&clipped.bbox()));
+            assert!(window.expand(1e-9).contains_rect(&clipped.bbox()));
         }
     }
+}
 
-    #[test]
-    fn grid_tiles_cover_their_shapes(rect in arb_rect(), tiles in 4u32..2000) {
+#[test]
+fn grid_tiles_cover_their_shapes() {
+    let mut rng = Rng::seed_from_u64(7);
+    for _ in 0..64 {
+        let r = rect(&mut rng);
+        let tiles = rng.gen_range(4u32..2000);
         let world = Rect::from_corners(Point::new(-180.0, -90.0), Point::new(180.0, 90.0)).unwrap();
         let grid = Grid::with_tile_count(world, tiles).unwrap();
-        let ids = grid.tile_ids_for_rect(&rect);
-        prop_assert!(!ids.is_empty());
+        let ids = grid.tile_ids_for_rect(&r);
+        assert!(!ids.is_empty());
         // Every returned tile intersects the rect (clamped to universe).
-        let clamped = rect.intersection(&world).unwrap_or(rect);
+        let clamped = r.intersection(&world).unwrap_or(r);
         for id in &ids {
-            prop_assert!(grid.tile_rect(*id).expand(1e-9).intersects(&clamped));
+            assert!(grid.tile_rect(*id).expand(1e-9).intersects(&clamped));
         }
         // The union of returned tiles covers the clamped rect.
-        let union = ids
-            .iter()
-            .map(|&i| grid.tile_rect(i))
-            .reduce(|a, b| a.union(&b))
-            .unwrap();
-        prop_assert!(union.expand(1e-9).contains_rect(&clamped));
+        let union = ids.iter().map(|&i| grid.tile_rect(i)).reduce(|a, b| a.union(&b)).unwrap();
+        assert!(union.expand(1e-9).contains_rect(&clamped));
     }
+}
 
-    #[test]
-    fn tilemap_roundtrips_arbitrary_2d_arrays(
-        h in 1usize..40,
-        w in 1usize..40,
-        target in 16usize..512,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn tilemap_roundtrips_arbitrary_2d_arrays() {
+    let mut rng = Rng::seed_from_u64(8);
+    for _ in 0..48 {
+        let h = rng.gen_range(1usize..40);
+        let w = rng.gen_range(1usize..40);
+        let target = rng.gen_range(16usize..512);
         let mut a = NdArray::zeros(vec![h, w], ElemType::U16).unwrap();
-        let mut x = seed | 1;
         for i in 0..a.num_elems() {
-            x ^= x << 13; x ^= x >> 7; x ^= x << 17;
-            a.set_linear(i, x % 65_536);
+            a.set_linear(i, rng.next_u64() % 65_536);
         }
         let map = TileMap::build(&a, target).unwrap();
-        prop_assert_eq!(map.assemble().unwrap(), a.clone());
+        assert_eq!(map.assemble().unwrap(), a.clone());
         // Any sub-region read matches the direct subarray.
         if h > 2 && w > 2 {
             let (r, _) = map.read_region(&[1, 1], &[h - 2, w - 2]).unwrap();
-            prop_assert_eq!(r, a.subarray(&[1, 1], &[h - 2, w - 2]).unwrap());
+            assert_eq!(r, a.subarray(&[1, 1], &[h - 2, w - 2]).unwrap());
         }
     }
+}
 
-    #[test]
-    fn btree_agrees_with_model(ops in proptest::collection::vec((any::<u16>(), any::<u8>()), 1..300)) {
-        use std::collections::BTreeMap;
-        let dir = std::env::temp_dir().join(format!("paradise-prop-bt-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join(format!("t{}.vol", rand_suffix(&ops)));
+#[test]
+fn btree_agrees_with_model() {
+    use std::collections::BTreeMap;
+    let mut rng = Rng::seed_from_u64(9);
+    let dir = std::env::temp_dir().join(format!("paradise-prop-bt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for case in 0..16 {
+        let path = dir.join(format!("t{case}.vol"));
+        let _ = std::fs::remove_file(&path);
         let vol = std::sync::Arc::new(paradise_storage::Volume::create(&path).unwrap());
         let pool = std::sync::Arc::new(paradise_storage::BufferPool::new(vol, 128));
         let tree = paradise_storage::btree::BTree::create(pool).unwrap();
         let mut model: BTreeMap<Vec<u8>, Vec<u64>> = BTreeMap::new();
-        for (k, v) in &ops {
-            let key = k.to_be_bytes().to_vec();
-            tree.insert(&key, u64::from(*v)).unwrap();
-            model.entry(key).or_default().push(u64::from(*v));
+        for _ in 0..rng.gen_range(1usize..300) {
+            let key = ((rng.next_u64() & 0xFFFF) as u16).to_be_bytes().to_vec();
+            let v = rng.next_u64() & 0xFF;
+            tree.insert(&key, v).unwrap();
+            model.entry(key).or_default().push(v);
         }
         for (key, vals) in &model {
             let mut got = tree.get_all(key).unwrap();
             let mut want = vals.clone();
             got.sort_unstable();
             want.sort_unstable();
-            prop_assert_eq!(got, want);
+            assert_eq!(got, want);
         }
         let total: usize = model.values().map(|v| v.len()).sum();
-        prop_assert_eq!(tree.len().unwrap(), total);
-    }
-
-    #[test]
-    fn rtree_search_agrees_with_linear_scan(
-        rects in proptest::collection::vec((arb_point(), 0.1f64..5.0, 0.1f64..5.0), 1..150),
-        window in arb_rect(),
-    ) {
-        let entries: Vec<(Rect, u64)> = rects
-            .iter()
-            .enumerate()
-            .map(|(i, (p, w, h))| {
-                (
-                    Rect::from_corners(*p, Point::new(p.x + w, p.y + h)).unwrap(),
-                    i as u64,
-                )
-            })
-            .collect();
-        let tree = paradise_storage::RTree::bulk_load(entries.clone());
-        let mut got: Vec<u64> = tree.search(&window).iter().map(|(_, v)| *v).collect();
-        got.sort_unstable();
-        let mut want: Vec<u64> = entries
-            .iter()
-            .filter(|(r, _)| r.intersects(&window))
-            .map(|(_, v)| *v)
-            .collect();
-        want.sort_unstable();
-        prop_assert_eq!(got, want);
+        assert_eq!(tree.len().unwrap(), total);
     }
 }
 
-/// Cheap deterministic suffix so parallel proptest cases do not collide on
-/// the same volume file.
-fn rand_suffix(ops: &[(u16, u8)]) -> u64 {
-    let mut h: u64 = 1469598103934665603;
-    for (a, b) in ops {
-        h ^= u64::from(*a) << 8 | u64::from(*b);
-        h = h.wrapping_mul(1099511628211);
+#[test]
+fn rtree_search_agrees_with_linear_scan() {
+    let mut rng = Rng::seed_from_u64(10);
+    for _ in 0..48 {
+        let n = rng.gen_range(1usize..150);
+        let entries: Vec<(Rect, u64)> = (0..n)
+            .map(|i| {
+                let p = point(&mut rng);
+                let w = rng.gen_range(0.1f64..5.0);
+                let h = rng.gen_range(0.1f64..5.0);
+                (Rect::from_corners(p, Point::new(p.x + w, p.y + h)).unwrap(), i as u64)
+            })
+            .collect();
+        let window = rect(&mut rng);
+        let tree = paradise_storage::RTree::bulk_load(entries.clone());
+        let mut got: Vec<u64> = tree.search(&window).iter().map(|(_, v)| *v).collect();
+        got.sort_unstable();
+        let mut want: Vec<u64> =
+            entries.iter().filter(|(r, _)| r.intersects(&window)).map(|(_, v)| *v).collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
     }
-    h
 }

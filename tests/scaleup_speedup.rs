@@ -12,12 +12,9 @@ use paradise_datagen::tables::{
 
 fn load(nodes: usize, scale: usize, tag: &str) -> Paradise {
     let world = World::generate(WorldSpec::paper_ratio(3, scale, 3000));
-    let dir = std::env::temp_dir().join(format!(
-        "paradise-it-scale-{}-{tag}-{nodes}-{scale}",
-        std::process::id()
-    ));
-    let mut db =
-        Paradise::create(ParadiseConfig::new(dir, nodes).with_grid_tiles(1024)).unwrap();
+    let dir = std::env::temp_dir()
+        .join(format!("paradise-it-scale-{}-{tag}-{nodes}-{scale}", std::process::id()));
+    let mut db = Paradise::create(ParadiseConfig::new(dir, nodes).with_grid_tiles(1024)).unwrap();
     db.define_table(raster_table().with_tile_bytes(4096));
     db.define_table(populated_places_table());
     db.define_table(roads_table());
@@ -48,10 +45,7 @@ fn q13_speeds_up_with_more_nodes() {
     let t2 = sim3(|| queries::q13(&db2).unwrap().metrics.simulated_time().as_secs_f64());
     let t8 = sim3(|| queries::q13(&db8).unwrap().metrics.simulated_time().as_secs_f64());
     // Perfect speedup would be 4x; demand at least 1.8x to stay robust.
-    assert!(
-        t8 < t2 / 1.8,
-        "Q13 should speed up with nodes: 2n={t2:.4}s 8n={t8:.4}s"
-    );
+    assert!(t8 < t2 / 1.8, "Q13 should speed up with nodes: 2n={t2:.4}s 8n={t8:.4}s");
 }
 
 #[test]
@@ -97,10 +91,7 @@ fn data_scaleup_matches_table_31_shape() {
     assert_eq!(w4.raster_bytes(), 4 * w1.raster_bytes());
     // Total vector points roughly double too (the paper's other axis).
     let pts = |w: &World| -> usize {
-        w.drainage
-            .iter()
-            .map(|t| t.get(2).unwrap().as_shape().unwrap().num_points())
-            .sum()
+        w.drainage.iter().map(|t| t.get(2).unwrap().as_shape().unwrap().num_points()).sum()
     };
     let (p1, p2) = (pts(&w1), pts(&w2));
     assert!(
@@ -120,18 +111,10 @@ fn spatial_skew_exists_but_many_partitions_smooth_it() {
     let drainage = db.table("drainage").unwrap();
     let counts: Vec<u64> = (0..4)
         .map(|n| {
-            cluster
-                .node(n)
-                .store
-                .file(&drainage.fragment_file())
-                .map(|f| f.count())
-                .unwrap_or(0)
+            cluster.node(n).store.file(&drainage.fragment_file()).map(|f| f.count()).unwrap_or(0)
         })
         .collect();
     let max = *counts.iter().max().unwrap() as f64;
     let min = *counts.iter().min().unwrap().max(&1) as f64;
-    assert!(
-        max / min < 3.0,
-        "hashed tiles should balance node load: {counts:?}"
-    );
+    assert!(max / min < 3.0, "hashed tiles should balance node load: {counts:?}");
 }

@@ -11,10 +11,8 @@ use paradise_geom::Point;
 
 fn load(tag: &str) -> (Paradise, World) {
     let world = World::generate(WorldSpec::paper_ratio(9, 1, 5000));
-    let dir =
-        std::env::temp_dir().join(format!("paradise-it-sql-{}-{tag}", std::process::id()));
-    let mut db =
-        Paradise::create(ParadiseConfig::new(dir, 4).with_grid_tiles(1024)).unwrap();
+    let dir = std::env::temp_dir().join(format!("paradise-it-sql-{}-{tag}", std::process::id()));
+    let mut db = Paradise::create(ParadiseConfig::new(dir, 4).with_grid_tiles(1024)).unwrap();
     db.define_table(raster_table().with_tile_bytes(4096));
     db.define_table(populated_places_table());
     db.define_table(roads_table());
@@ -72,17 +70,13 @@ fn sql_matches_programmatic_plans() {
     assert_eq!(sql.rows.len(), api.rows.len(), "Q4");
 
     // Q5
-    let sql = db
-        .sql("select * from populatedPlaces where name = \"Phoenix\"")
-        .unwrap();
+    let sql = db.sql("select * from populatedPlaces where name = \"Phoenix\"").unwrap();
     let api = queries::q5(&db, "Phoenix").unwrap();
     assert_eq!(sql.rows.len(), api.rows.len(), "Q5");
     assert!(!sql.rows.is_empty());
 
     // Q6
-    let sql = db
-        .sql(&format!("select * from landCover where shape overlaps {US}"))
-        .unwrap();
+    let sql = db.sql(&format!("select * from landCover where shape overlaps {US}")).unwrap();
     let api = queries::q6(&db, &us).unwrap();
     assert_eq!(sql.rows.len(), api.rows.len(), "Q6");
 
@@ -129,9 +123,8 @@ fn sql_matches_programmatic_plans() {
     assert_eq!(sql.rows.len(), api.rows.len(), "Q10");
 
     // Q11
-    let sql = db
-        .sql("select closest(shape, Point(-89.4, 43.1)), type from roads group by type")
-        .unwrap();
+    let sql =
+        db.sql("select closest(shape, Point(-89.4, 43.1)), type from roads group by type").unwrap();
     let api = queries::q11(&db, Point::new(-89.4, 43.1)).unwrap();
     assert_eq!(sql.rows.len(), api.rows.len(), "Q11");
 
@@ -148,9 +141,8 @@ fn sql_matches_programmatic_plans() {
     assert_eq!(sql.rows.len(), api.rows.len(), "Q12");
 
     // Q13
-    let sql = db
-        .sql("select * from drainage, roads where drainage.shape overlaps roads.shape")
-        .unwrap();
+    let sql =
+        db.sql("select * from drainage, roads where drainage.shape overlaps roads.shape").unwrap();
     let api = queries::q13(&db).unwrap();
     assert_eq!(sql.rows.len(), api.rows.len(), "Q13");
 
@@ -177,22 +169,13 @@ fn sql_matches_programmatic_plans() {
 fn generic_fallback_scan() {
     let (db, world) = load("generic");
     // A query shape the plan matcher does not special-case: generic scan.
-    let r = db
-        .sql("select id, type from drainage where type = 3")
-        .unwrap();
-    let brute = world
-        .drainage
-        .iter()
-        .filter(|t| t.get(1).unwrap().as_int().unwrap() == 3)
-        .count();
+    let r = db.sql("select id, type from drainage where type = 3").unwrap();
+    let brute = world.drainage.iter().filter(|t| t.get(1).unwrap().as_int().unwrap() == 3).count();
     // Spatial replication may store copies, but the scan visits every copy
     // exactly once per node it lives on; drainage dedup requires distinct
     // ids. Count distinct ids in the result.
-    let distinct: std::collections::HashSet<&str> = r
-        .rows
-        .iter()
-        .map(|t| t.get(0).unwrap().as_str().unwrap())
-        .collect();
+    let distinct: std::collections::HashSet<&str> =
+        r.rows.iter().map(|t| t.get(0).unwrap().as_str().unwrap()).collect();
     assert_eq!(distinct.len(), brute);
 }
 
