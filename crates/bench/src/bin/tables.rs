@@ -123,6 +123,13 @@ fn print_time_table(title: &str, ours: &[Vec<QueryRow>; 3], paper: &[(&str, [f64
             name, t[0], t[1], t[2], paper_times[0], paper_times[1], paper_times[2]
         );
     }
+    // Per-phase cost breakdown of the 16-node critical query
+    // (`QueryMetrics` implements `Display`).
+    if let Some(slowest) =
+        ours[2].iter().max_by(|a, b| a.simulated.partial_cmp(&b.simulated).unwrap())
+    {
+        println!("\nslowest on 16 nodes — {} breakdown:\n{}", slowest.name, slowest.metrics);
+    }
 }
 
 fn run_three(speedup: bool, shrink: usize, seed: u64) -> [Vec<QueryRow>; 3] {

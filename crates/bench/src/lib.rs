@@ -63,6 +63,9 @@ pub struct QueryRow {
     pub pulls: u64,
     /// Result cardinality.
     pub rows: usize,
+    /// Full cost record of the median run (per-phase rows / busy /
+    /// buffer / network — `Display` renders the breakdown table).
+    pub metrics: paradise_exec::QueryMetrics,
 }
 
 /// Generates the world for a configuration.
@@ -108,16 +111,15 @@ fn measure(db: &Paradise, name: &str, mut f: impl FnMut() -> QueryResult) -> Que
     let mut runs: Vec<QueryRow> = (0..3)
         .map(|_| {
             db.flush_caches().expect("cold cache");
-            let base = db.cluster().net.snapshot();
             let r = f();
-            let d = db.cluster().net.since(base);
             QueryRow {
                 name: name.to_string(),
                 simulated: r.metrics.simulated_time().as_secs_f64(),
                 wall: r.metrics.wall.as_secs_f64(),
-                net_bytes: d.bytes + d.pull_bytes,
-                pulls: d.pulls,
+                net_bytes: r.metrics.net_bytes + r.metrics.pull_bytes,
+                pulls: r.metrics.pulls,
                 rows: r.rows.len(),
+                metrics: r.metrics,
             }
         })
         .collect();

@@ -39,6 +39,9 @@ pub struct ParadiseConfig {
     pub pull_cost: std::time::Duration,
     /// How cross-node traffic moves (`Local` channels or real `Tcp`).
     pub transport: TransportKind,
+    /// Where `EXPLAIN ANALYZE` writes its Chrome-trace JSON profile
+    /// (`None`: no trace file is produced).
+    pub trace_path: Option<PathBuf>,
 }
 
 impl ParadiseConfig {
@@ -54,6 +57,7 @@ impl ParadiseConfig {
                 .expect("valid universe"),
             pull_cost: std::time::Duration::from_micros(5),
             transport: TransportKind::Local,
+            trace_path: None,
         }
     }
 
@@ -72,6 +76,12 @@ impl ParadiseConfig {
     /// Selects the cross-node transport.
     pub fn with_transport(mut self, transport: TransportKind) -> Self {
         self.transport = transport;
+        self
+    }
+
+    /// Sets the Chrome-trace output path for `EXPLAIN ANALYZE` profiles.
+    pub fn with_trace(mut self, path: impl Into<PathBuf>) -> Self {
+        self.trace_path = Some(path.into());
         self
     }
 }
@@ -94,6 +104,7 @@ pub struct Paradise {
     tables: HashMap<String, TableDef>,
     /// Extensible aggregate catalog (§2.4).
     pub aggregates: AggRegistry,
+    trace_path: Option<PathBuf>,
 }
 
 impl Paradise {
@@ -112,14 +123,31 @@ impl Paradise {
         })?;
         if cfg.transport == TransportKind::Tcp {
             let t = paradise_net::TcpTransport::serve(cluster.nodes())?;
+            t.register_metrics(cluster.obs());
             cluster.set_transport(Transport::Tcp(t));
         }
-        Ok(Paradise { cluster, tables: HashMap::new(), aggregates: AggRegistry::with_builtins() })
+        Ok(Paradise {
+            cluster,
+            tables: HashMap::new(),
+            aggregates: AggRegistry::with_builtins(),
+            trace_path: cfg.trace_path,
+        })
     }
 
     /// The underlying cluster.
     pub fn cluster(&self) -> &Cluster {
         &self.cluster
+    }
+
+    /// The cluster-wide metrics registry (buffer, WAL, network, R-tree,
+    /// and stream counters — see `paradise_obs`).
+    pub fn obs(&self) -> &paradise_obs::MetricsRegistry {
+        self.cluster.obs()
+    }
+
+    /// Where `EXPLAIN ANALYZE` writes its Chrome-trace profile, if set.
+    pub fn trace_path(&self) -> Option<&std::path::Path> {
+        self.trace_path.as_deref()
     }
 
     /// Registers a table definition (DDL).

@@ -33,6 +33,7 @@ pub mod queries;
 pub mod sql_exec;
 
 pub use db::{Paradise, ParadiseConfig, QueryResult, TransportKind};
+pub use sql_exec::{execute_plan, match_plan, Plan, PlanLine};
 
 pub use paradise_array as array;
 pub use paradise_exec as exec;

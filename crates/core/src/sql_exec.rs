@@ -1,12 +1,20 @@
 //! SQL execution: plan selection over the parsed AST.
 //!
 //! The optimizer of this reproduction is a *plan matcher*: the fourteen
-//! benchmark query shapes (paper §3.1.2) are recognised structurally and
-//! dispatched to their hand-tuned parallel plans in [`crate::queries`]
-//! (that is where the paper's optimizer decisions — index selection, join
-//! method, small-outer replication, decluster avoidance — are encoded).
-//! Everything else falls back to a generic parallel scan-filter-project
-//! plan over a single table.
+//! benchmark query shapes (paper §3.1.2) are recognised structurally by
+//! [`match_plan`] into a [`Plan`], which [`execute_plan`] dispatches to
+//! the hand-tuned parallel plans in [`crate::queries`] (that is where the
+//! paper's optimizer decisions — index selection, join method, small-outer
+//! replication, decluster avoidance — are encoded). Everything else falls
+//! back to a generic parallel scan-filter-project plan over a single
+//! table.
+//!
+//! Splitting matching from execution is what powers `EXPLAIN` (render the
+//! chosen [`Plan`]'s operator tree without running it) and
+//! `EXPLAIN ANALYZE` (run it, then annotate each operator with the row
+//! counts, busy time, and buffer/network activity its measured phase
+//! recorded — plus a Chrome-trace profile when the instance has a trace
+//! path configured).
 
 use crate::db::{Paradise, QueryResult};
 use crate::queries;
@@ -16,13 +24,18 @@ use paradise_exec::phase::run_phase;
 use paradise_exec::value::{Date, Value};
 use paradise_exec::{ExecError, Tuple};
 use paradise_geom::{Circle, Point, Polygon, Rect, Shape};
-use paradise_sql::ast::{BinOp, Expr, Projection, SelectStmt};
-use paradise_sql::parse_select;
+use paradise_sql::ast::{BinOp, ExplainMode, Expr, Projection, SelectStmt};
+use paradise_sql::parse_statement;
 
-/// Parses and runs one SQL statement.
+/// Parses and runs one SQL statement (optionally `EXPLAIN [ANALYZE]`).
 pub fn run_sql(db: &Paradise, text: &str) -> Result<QueryResult> {
-    let stmt = parse_select(text).map_err(|e| ExecError::Other(e.to_string()))?;
-    dispatch(db, &stmt)
+    let stmt = parse_statement(text).map_err(|e| ExecError::Other(e.to_string()))?;
+    let plan = match_plan(&stmt.select)?;
+    match stmt.explain {
+        ExplainMode::None => execute_plan(db, &plan),
+        ExplainMode::Plan => Ok(render_plan(&plan)),
+        ExplainMode::Analyze => explain_analyze(db, &plan),
+    }
 }
 
 fn err(msg: impl Into<String>) -> ExecError {
@@ -192,7 +205,110 @@ fn proj_has_call(stmt: &SelectStmt, func: &str) -> bool {
     }
 }
 
-fn dispatch(db: &Paradise, stmt: &SelectStmt) -> Result<QueryResult> {
+/// A matched (bound) query plan: the benchmark shape that was recognised,
+/// together with its constant parameters. Produced by [`match_plan`],
+/// executed by [`execute_plan`], rendered by [`Plan::describe`].
+#[derive(Debug, Clone)]
+pub enum Plan {
+    /// Q2 — clips of one AVHRR channel over time.
+    Q2 {
+        /// Selected channel.
+        channel: i64,
+        /// Clip region.
+        clip: Polygon,
+    },
+    /// Q3 — global average of one day's composite, clipped.
+    Q3 {
+        /// Composite date.
+        date: Date,
+        /// Clip region.
+        clip: Polygon,
+    },
+    /// Q4 — browse: clip + lower_res.
+    Q4 {
+        /// Composite date.
+        date: Date,
+        /// Selected channel.
+        channel: i64,
+        /// Clip region.
+        clip: Polygon,
+        /// Resolution-lowering factor.
+        factor: usize,
+    },
+    /// Q5 — exact-match select via the B+-tree.
+    Q5 {
+        /// City name.
+        name: String,
+    },
+    /// Q6 — polygon-overlap selection via the R*-tree.
+    Q6 {
+        /// Query region.
+        region: Polygon,
+    },
+    /// Q7 — circle containment (+ optional area bound).
+    Q7 {
+        /// Circle center.
+        center: Point,
+        /// Circle radius.
+        radius: f64,
+        /// Upper bound on polygon area.
+        max_area: f64,
+    },
+    /// Q8 — indexed nested-loops spatial join around one city.
+    Q8 {
+        /// City name.
+        name: String,
+        /// makeBox window side length.
+        box_len: f64,
+    },
+    /// Q9 — raster–polygon clip join at one date.
+    Q9 {
+        /// Composite date.
+        date: Date,
+        /// Selected channel.
+        channel: i64,
+        /// Oil-field polygon type.
+        oil_type: i64,
+    },
+    /// Q10 — content-based raster selection.
+    Q10 {
+        /// Clip region.
+        clip: Polygon,
+        /// Average threshold.
+        threshold: f64,
+    },
+    /// Q11 — closest road per type (two-phase extensible aggregate).
+    Q11 {
+        /// Reference point.
+        point: Point,
+    },
+    /// Q12 — closest drainage per large city (Figure 3.1).
+    Q12 {
+        /// City type selecting "large" cities.
+        city_type: i64,
+    },
+    /// Q13 — parallel spatial join of drainage and roads.
+    Q13,
+    /// Q14 — raster–polygon clip join over a date range.
+    Q14 {
+        /// Range start.
+        lo: Date,
+        /// Range end.
+        hi: Date,
+        /// Selected channel.
+        channel: i64,
+        /// Oil-field polygon type.
+        oil_type: i64,
+    },
+    /// Fallback: parallel scan-filter-project over one table.
+    GenericScan {
+        /// The statement to evaluate row-at-a-time.
+        stmt: SelectStmt,
+    },
+}
+
+/// Recognises the statement's benchmark shape and binds its parameters.
+pub fn match_plan(stmt: &SelectStmt) -> Result<Plan> {
     let tables: Vec<String> = stmt.tables.iter().map(|t| t.to_ascii_lowercase()).collect();
     let only = |name: &str| tables.len() == 1 && tables[0] == name;
     let pair = |a: &str, b: &str| {
@@ -205,35 +321,36 @@ fn dispatch(db: &Paradise, stmt: &SelectStmt) -> Result<QueryResult> {
         let channel = find_cmp(stmt, "channel", BinOp::Eq).map(eval_const);
         if proj_has_call(stmt, "average") {
             // Q3: select average(raster.data.clip(P)) … where date = D
-            let poly = find_clip_polygon(stmt).ok_or_else(|| err("Q3 needs clip(polygon)"))??;
-            let Some(Ok(Value::Date(d))) = date else {
+            let clip = find_clip_polygon(stmt).ok_or_else(|| err("Q3 needs clip(polygon)"))??;
+            let Some(Ok(Value::Date(date))) = date else {
                 return Err(err("Q3 needs raster.date = Date(...)"));
             };
-            return queries::q3(db, d, &poly, false);
+            return Ok(Plan::Q3 { date, clip });
         }
         if proj_mentions(stmt, "lower_res") {
             // Q4
-            let poly = find_clip_polygon(stmt).ok_or_else(|| err("Q4 needs clip(polygon)"))??;
-            let (Some(Ok(Value::Date(d))), Some(Ok(Value::Int(ch)))) = (date, channel) else {
+            let clip = find_clip_polygon(stmt).ok_or_else(|| err("Q4 needs clip(polygon)"))??;
+            let (Some(Ok(Value::Date(date))), Some(Ok(Value::Int(channel)))) = (date, channel)
+            else {
                 return Err(err("Q4 needs date = Date(...) and channel = N"));
             };
             let factor = find_lower_res_factor(stmt).unwrap_or(8);
-            return queries::q4(db, d, ch, &poly, factor);
+            return Ok(Plan::Q4 { date, channel, clip, factor });
         }
         if stmt.where_clause.as_ref().is_some_and(|w| w.mentions_method("average")) {
             // Q10: where clip(P).average() > C
-            let poly = find_clip_polygon(stmt).ok_or_else(|| err("Q10 needs clip(polygon)"))??;
+            let clip = find_clip_polygon(stmt).ok_or_else(|| err("Q10 needs clip(polygon)"))??;
             let threshold = find_average_threshold(stmt)
                 .ok_or_else(|| err("Q10 needs clip(...).average() > C"))?;
-            return queries::q10(db, &poly, threshold);
+            return Ok(Plan::Q10 { clip, threshold });
         }
         if proj_mentions(stmt, "clip") {
             // Q2
-            let Some(Ok(Value::Int(ch))) = channel else {
+            let Some(Ok(Value::Int(channel))) = channel else {
                 return Err(err("Q2 needs raster.channel = N"));
             };
-            let poly = find_clip_polygon(stmt).ok_or_else(|| err("Q2 needs clip(polygon)"))??;
-            return queries::q2(db, ch, &poly);
+            let clip = find_clip_polygon(stmt).ok_or_else(|| err("Q2 needs clip(polygon)"))??;
+            return Ok(Plan::Q2 { channel, clip });
         }
     }
 
@@ -241,7 +358,7 @@ fn dispatch(db: &Paradise, stmt: &SelectStmt) -> Result<QueryResult> {
     if only("populatedplaces") {
         if let Some(e) = find_cmp(stmt, "name", BinOp::Eq) {
             if let Value::Str(name) = eval_const(e)? {
-                return queries::q5(db, &name);
+                return Ok(Plan::Q5 { name });
             }
         }
     }
@@ -252,13 +369,12 @@ fn dispatch(db: &Paradise, stmt: &SelectStmt) -> Result<QueryResult> {
         if let Some(rhs) = find_cmp(stmt, "shape", BinOp::Lt) {
             if let Value::Shape(Shape::Circle(c)) = eval_const(rhs)? {
                 let max_area = find_area_bound(stmt).unwrap_or(f64::INFINITY);
-                return queries::q7(db, c.center, c.radius, max_area);
+                return Ok(Plan::Q7 { center: c.center, radius: c.radius, max_area });
             }
         }
         // Q6: shape overlaps POLYGON
         if let Some(rhs) = find_overlaps_const(stmt) {
-            let poly = const_polygon(rhs)?;
-            return queries::q6(db, &poly);
+            return Ok(Plan::Q6 { region: const_polygon(rhs)? });
         }
     }
 
@@ -268,13 +384,13 @@ fn dispatch(db: &Paradise, stmt: &SelectStmt) -> Result<QueryResult> {
             Some(Value::Str(s)) => s,
             _ => return Err(err("Q8 needs populatedPlaces.name = \"…\"")),
         };
-        let len = find_make_box_len(stmt).ok_or_else(|| err("Q8 needs makeBox(L)"))?;
-        return queries::q8(db, &name, len);
+        let box_len = find_make_box_len(stmt).ok_or_else(|| err("Q8 needs makeBox(L)"))?;
+        return Ok(Plan::Q8 { name, box_len });
     }
 
     // --- Q9 / Q14 ---------------------------------------------------------
     if pair("landcover", "raster") {
-        let oil = match find_cmp(stmt, "type", BinOp::Eq).map(eval_const).transpose()? {
+        let oil_type = match find_cmp(stmt, "type", BinOp::Eq).map(eval_const).transpose()? {
             Some(Value::Int(t)) => t,
             _ => return Err(err("Q9/Q14 need landCover.LCPYTYPE = N")),
         };
@@ -283,14 +399,14 @@ fn dispatch(db: &Paradise, stmt: &SelectStmt) -> Result<QueryResult> {
             _ => return Err(err("Q9/Q14 need raster.channel = N")),
         };
         if let Some(e) = find_cmp(stmt, "date", BinOp::Eq) {
-            if let Value::Date(d) = eval_const(e)? {
-                return queries::q9(db, d, channel, oil);
+            if let Value::Date(date) = eval_const(e)? {
+                return Ok(Plan::Q9 { date, channel, oil_type });
             }
         }
         let lo = find_cmp(stmt, "date", BinOp::Ge).map(eval_const).transpose()?;
         let hi = find_cmp(stmt, "date", BinOp::Le).map(eval_const).transpose()?;
         if let (Some(Value::Date(lo)), Some(Value::Date(hi))) = (lo, hi) {
-            return queries::q14(db, lo, hi, channel, oil);
+            return Ok(Plan::Q14 { lo, hi, channel, oil_type });
         }
         return Err(err("Q9/Q14 need a date equality or range"));
     }
@@ -298,7 +414,7 @@ fn dispatch(db: &Paradise, stmt: &SelectStmt) -> Result<QueryResult> {
     // --- Q11 ----------------------------------------------------------------
     if only("roads") && proj_has_call(stmt, "closest") {
         let p = find_closest_point(stmt).ok_or_else(|| err("closest(shape, Point(x, y))"))?;
-        return queries::q11(db, p?);
+        return Ok(Plan::Q11 { point: p? });
     }
 
     // --- Q12 -----------------------------------------------------------------
@@ -307,19 +423,277 @@ fn dispatch(db: &Paradise, stmt: &SelectStmt) -> Result<QueryResult> {
             Some(Value::Int(t)) => t,
             _ => 1,
         };
-        return queries::q12(db, city_type, true);
+        return Ok(Plan::Q12 { city_type });
     }
 
     // --- Q13 ----------------------------------------------------------------
     if pair("drainage", "roads") {
-        return queries::q13(db);
+        return Ok(Plan::Q13);
     }
 
     // --- generic fallback ------------------------------------------------
     if tables.len() == 1 {
-        return generic_scan(db, stmt);
+        return Ok(Plan::GenericScan { stmt: stmt.clone() });
     }
     Err(err("unsupported query shape"))
+}
+
+/// Runs a matched plan against the database.
+pub fn execute_plan(db: &Paradise, plan: &Plan) -> Result<QueryResult> {
+    match plan {
+        Plan::Q2 { channel, clip } => queries::q2(db, *channel, clip),
+        Plan::Q3 { date, clip } => queries::q3(db, *date, clip, false),
+        Plan::Q4 { date, channel, clip, factor } => queries::q4(db, *date, *channel, clip, *factor),
+        Plan::Q5 { name } => queries::q5(db, name),
+        Plan::Q6 { region } => queries::q6(db, region),
+        Plan::Q7 { center, radius, max_area } => queries::q7(db, *center, *radius, *max_area),
+        Plan::Q8 { name, box_len } => queries::q8(db, name, *box_len),
+        Plan::Q9 { date, channel, oil_type } => queries::q9(db, *date, *channel, *oil_type),
+        Plan::Q10 { clip, threshold } => queries::q10(db, clip, *threshold),
+        Plan::Q11 { point } => queries::q11(db, *point),
+        Plan::Q12 { city_type } => queries::q12(db, *city_type, true),
+        Plan::Q13 => queries::q13(db),
+        Plan::Q14 { lo, hi, channel, oil_type } => queries::q14(db, *lo, *hi, *channel, *oil_type),
+        Plan::GenericScan { stmt } => generic_scan(db, stmt),
+    }
+}
+
+/// One rendered operator line of a plan tree.
+#[derive(Debug, Clone)]
+pub struct PlanLine {
+    /// Nesting depth below the plan header.
+    pub indent: usize,
+    /// Operator description.
+    pub text: String,
+    /// The measured phase that drives this operator (matched by name
+    /// against [`QueryMetrics::phases`] for `EXPLAIN ANALYZE`).
+    pub phase: Option<&'static str>,
+}
+
+fn op(indent: usize, text: impl Into<String>, phase: Option<&'static str>) -> PlanLine {
+    PlanLine { indent, text: text.into(), phase }
+}
+
+impl Plan {
+    /// Short name of the matched shape ("Q2" … "Q14", "GenericScan").
+    pub fn name(&self) -> &'static str {
+        match self {
+            Plan::Q2 { .. } => "Q2",
+            Plan::Q3 { .. } => "Q3",
+            Plan::Q4 { .. } => "Q4",
+            Plan::Q5 { .. } => "Q5",
+            Plan::Q6 { .. } => "Q6",
+            Plan::Q7 { .. } => "Q7",
+            Plan::Q8 { .. } => "Q8",
+            Plan::Q9 { .. } => "Q9",
+            Plan::Q10 { .. } => "Q10",
+            Plan::Q11 { .. } => "Q11",
+            Plan::Q12 { .. } => "Q12",
+            Plan::Q13 => "Q13",
+            Plan::Q14 { .. } => "Q14",
+            Plan::GenericScan { .. } => "GenericScan",
+        }
+    }
+
+    /// The plan's operator tree, top-down; operators that correspond to a
+    /// measured phase carry its name so `EXPLAIN ANALYZE` can annotate
+    /// them with the recorded rows / busy time / buffer / network counters.
+    pub fn describe(&self) -> Vec<PlanLine> {
+        match self {
+            Plan::Q2 { channel, .. } => vec![
+                op(0, "Sort [date]  (QC, sequential)", None),
+                op(1, "Gather -> QC", None),
+                op(2, "Clip + Project [data.clip(POLYGON)]", Some("scan + clip rasters")),
+                op(3, format!("SeqScan raster [channel = {channel}]"), None),
+            ],
+            Plan::Q3 { date, .. } => vec![
+                op(0, "GlobalAverage  (QC, sequential)", None),
+                op(1, "PartialAverage [clipped tiles]", Some("local partial sums")),
+                op(2, format!("TileLocate raster [date = {date}]"), Some("locate rasters")),
+            ],
+            Plan::Q4 { date, channel, factor, .. } => vec![
+                op(0, "Gather -> QC", None),
+                op(
+                    1,
+                    format!("Clip + LowerRes [clip(POLYGON).lower_res({factor})]"),
+                    Some("select + clip + lower_res"),
+                ),
+                op(2, format!("SeqScan raster [date = {date}, channel = {channel}]"), None),
+            ],
+            Plan::Q5 { name } => vec![
+                op(0, "Gather -> QC", None),
+                op(
+                    1,
+                    format!("BTreeIndexScan populatedPlaces [name = {name:?}]"),
+                    Some("index probe"),
+                ),
+            ],
+            Plan::Q6 { .. } => vec![
+                op(0, "Gather -> QC", None),
+                op(
+                    1,
+                    "RTreeIndexScan landCover [shape overlaps POLYGON]",
+                    Some("spatial index selection"),
+                ),
+            ],
+            Plan::Q7 { center, radius, max_area } => {
+                let mut pred = format!("shape < Circle(({}, {}), {radius})", center.x, center.y);
+                if max_area.is_finite() {
+                    pred.push_str(&format!(" and area() < {max_area}"));
+                }
+                vec![
+                    op(0, "Gather -> QC", None),
+                    op(1, format!("Filter [{pred}]"), Some("circle selection")),
+                    op(2, "SeqScan landCover", None),
+                ]
+            }
+            Plan::Q8 { name, box_len } => vec![
+                op(0, "Gather -> QC", None),
+                op(
+                    1,
+                    format!("IndexedNLJoin [landCover.shape overlaps makeBox({box_len})]"),
+                    Some("indexed NL spatial join"),
+                ),
+                op(2, "RTreeIndexScan landCover  (inner, per box)", None),
+                op(2, "Broadcast city boxes  (QC)", None),
+                op(3, format!("Filter populatedPlaces [name = {name:?}]"), Some("select cities")),
+            ],
+            Plan::Q9 { date, channel, oil_type } => clip_join_tree(
+                format!("SeqScan raster [date = {date}, channel = {channel}]"),
+                *oil_type,
+            ),
+            Plan::Q14 { lo, hi, channel, oil_type } => clip_join_tree(
+                format!("SeqScan raster [date in [{lo}, {hi}], channel = {channel}]"),
+                *oil_type,
+            ),
+            Plan::Q10 { threshold, .. } => vec![
+                op(0, "Gather -> QC", None),
+                op(
+                    1,
+                    format!("Filter [clip(POLYGON).average() > {threshold}]"),
+                    Some("clip + average predicate"),
+                ),
+                op(2, "SeqScan raster", None),
+            ],
+            Plan::Q11 { point } => vec![
+                op(0, "GlobalClosest [group by type]  (QC, sequential)", None),
+                op(
+                    1,
+                    format!("PartialClosest [closest(shape, ({}, {}))]", point.x, point.y),
+                    Some("local closest per type"),
+                ),
+                op(2, "RTreeNearest roads", None),
+            ],
+            Plan::Q12 { city_type } => vec![
+                op(0, "GlobalAggregate  (QC, sequential)", None),
+                op(1, "JoinWithAggregate [expanding circles]", Some("join with aggregate")),
+                op(2, "SpatialSemiJoin [city -> owning tile]", Some("spatial semi-join")),
+                op(3, "BuildLocalRTree drainage", Some("build local index")),
+                op(
+                    3,
+                    format!("Filter populatedPlaces [type = {city_type}]"),
+                    Some("select large cities"),
+                ),
+            ],
+            Plan::Q13 => vec![
+                op(0, "Gather -> QC", None),
+                op(1, "PBSMJoin [drainage.shape overlaps roads.shape]", Some("local spatial join")),
+                op(2, "SeqScan drainage  (co-partitioned on grid)", None),
+                op(2, "SeqScan roads  (co-partitioned on grid)", None),
+            ],
+            Plan::GenericScan { stmt } => {
+                let mut v = vec![op(0, "Gather -> QC", None)];
+                if let Some(col) = &stmt.order_by {
+                    v.insert(0, op(0, format!("Sort [{col}]  (QC, sequential)"), None));
+                }
+                let base = v.len() - 1;
+                v.push(op(base + 1, "Filter + Project", Some("scan + filter + project")));
+                v.push(op(base + 2, format!("SeqScan {}", stmt.tables[0]), None));
+                v
+            }
+        }
+    }
+}
+
+/// Shared Q9/Q14 operator tree (they differ only in the raster scan line).
+fn clip_join_tree(raster_scan: String, oil_type: i64) -> Vec<PlanLine> {
+    vec![
+        op(0, "Gather -> QC", None),
+        op(1, "ClipJoin [raster x oil-field polygons]", Some("clip rasters by polygons")),
+        op(2, raster_scan, None),
+        op(2, "Replicate oil fields  (QC)", None),
+        op(3, format!("Filter landCover [type = {oil_type}]"), Some("select oil fields")),
+    ]
+}
+
+/// Renders a plan tree without executing it (`EXPLAIN`).
+fn render_plan(plan: &Plan) -> QueryResult {
+    let mut lines = vec![format!("{} plan", plan.name())];
+    for l in plan.describe() {
+        lines.push(format!("{}{}", "  ".repeat(l.indent + 1), l.text));
+    }
+    plan_result(lines, QueryMetrics::default())
+}
+
+/// Runs the plan under the cluster's trace sink, then renders the operator
+/// tree annotated with each phase's recorded row counts, busy time, and
+/// buffer/network activity (`EXPLAIN ANALYZE`). Writes the Chrome-trace
+/// profile when the instance has a trace path configured.
+fn explain_analyze(db: &Paradise, plan: &Plan) -> Result<QueryResult> {
+    let sink = db.cluster().trace();
+    let was_enabled = sink.is_enabled();
+    sink.clear();
+    sink.set_enabled(true);
+    let executed = execute_plan(db, plan);
+    sink.set_enabled(was_enabled);
+    let result = executed?;
+    let m = &result.metrics;
+
+    let mut lines = vec![format!("{} plan  (analyzed)", plan.name())];
+    for l in plan.describe() {
+        let mut text = format!("{}{}", "  ".repeat(l.indent + 1), l.text);
+        if let Some(phase) = l.phase {
+            if let Some(p) = m.phases.iter().find(|p| p.name == phase) {
+                let mut ann = Vec::new();
+                if let Some(rows) = p.rows_out() {
+                    ann.push(format!("rows={rows}"));
+                }
+                ann.push(format!("busy={:.2?}", p.critical()));
+                if p.net.bytes > 0 {
+                    ann.push(format!("net={:.1}KB", p.net.bytes as f64 / 1024.0));
+                }
+                if p.buffer.hits + p.buffer.misses > 0 {
+                    ann.push(format!(
+                        "buf={}/{} ({:.0}% hit)",
+                        p.buffer.hits,
+                        p.buffer.misses,
+                        p.buffer.hit_rate()
+                    ));
+                }
+                text.push_str(&format!("  [{}]", ann.join(" ")));
+            } else {
+                text.push_str("  [not executed]");
+            }
+        }
+        lines.push(text);
+    }
+    lines.push(String::new());
+    lines.extend(m.to_string().lines().map(str::to_string));
+    lines.push(format!("result rows: {}", result.rows.len()));
+    if let Some(path) = db.trace_path() {
+        sink.write_chrome_json(path)
+            .map_err(|e| err(format!("writing trace {}: {e}", path.display())))?;
+        lines.push(format!("trace: {} ({} events)", path.display(), sink.len()));
+    }
+    Ok(plan_result(lines, result.metrics))
+}
+
+fn plan_result(lines: Vec<String>, metrics: QueryMetrics) -> QueryResult {
+    QueryResult {
+        columns: vec!["QUERY PLAN".to_string()],
+        rows: lines.into_iter().map(|l| Tuple::new(vec![Value::Str(l)])).collect(),
+        metrics,
+    }
 }
 
 fn find_lower_res_factor(stmt: &SelectStmt) -> Option<usize> {
@@ -547,7 +921,7 @@ mod tests {
     use super::*;
 
     fn parse(q: &str) -> SelectStmt {
-        parse_select(q).unwrap()
+        paradise_sql::parse_select(q).unwrap()
     }
 
     #[test]

@@ -15,7 +15,8 @@ use crate::tuple::Tuple;
 use crate::value::TileRef;
 use crate::{ExecError, Result};
 use paradise_geom::{Grid, Point, Rect, TileId};
-use paradise_storage::Store;
+use paradise_obs::{Counter, MetricsRegistry, TraceSink};
+use paradise_storage::{BufferStats, Store};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -182,6 +183,12 @@ pub struct Cluster {
     pull_cost: std::time::Duration,
     temp_counter: AtomicU64,
     transport: Transport,
+    /// The unified metrics registry every subsystem publishes into.
+    obs: Arc<MetricsRegistry>,
+    /// Span sink for per-node/per-operator tracing (disabled by default;
+    /// `EXPLAIN ANALYZE` enables it for one query).
+    trace: Arc<TraceSink>,
+    streams_opened: Counter,
 }
 
 impl Cluster {
@@ -196,14 +203,43 @@ impl Cluster {
             nodes.push(Arc::new(Node { id, store }));
         }
         let grid = Grid::with_tile_count(cfg.universe, cfg.grid_tiles).map_err(ExecError::Geom)?;
+        let net = Arc::new(NetStats::default());
+        let obs = Arc::new(MetricsRegistry::new());
+        let trace = Arc::new(TraceSink::new());
+        register_cluster_metrics(&obs, &nodes, &net);
+        for n in &nodes {
+            trace.set_lane_name(n.id as u32, &format!("node {}", n.id));
+        }
+        trace.set_lane_name(nodes.len() as u32, "QC");
+        let streams_opened = obs.counter("exec.streams_opened");
         Ok(Cluster {
             nodes,
             grid,
-            net: Arc::new(NetStats::default()),
+            net,
             pull_cost: cfg.pull_cost,
             temp_counter: AtomicU64::new(0),
             transport: Transport::Local,
+            obs,
+            trace,
+            streams_opened,
         })
+    }
+
+    /// The cluster-wide metrics registry.
+    pub fn obs(&self) -> &Arc<MetricsRegistry> {
+        &self.obs
+    }
+
+    /// The cluster-wide trace sink. Lane `i` is node `i`; lane
+    /// [`Cluster::coordinator_id`] is the QC.
+    pub fn trace(&self) -> &Arc<TraceSink> {
+        &self.trace
+    }
+
+    /// Summed buffer-pool statistics across every node's pool (each pool
+    /// snapshot is internally consistent; see `BufferPool::stats`).
+    pub fn buffer_stats_total(&self) -> BufferStats {
+        self.nodes.iter().fold(BufferStats::default(), |acc, n| acc.merge(n.store.pool().stats()))
     }
 
     /// Number of nodes.
@@ -242,6 +278,7 @@ impl Cluster {
     /// [`TupleTx::send`] choke point, so `Local` and `Tcp` account
     /// identically for identical plans.
     pub fn stream(&self, window: usize, src: NodeId, dst: NodeId) -> Result<(TupleTx, TupleRx)> {
+        self.streams_opened.inc();
         match &self.transport {
             Transport::Local => Ok(stream::network_stream(window, src, dst, self.net.clone())),
             Transport::Tcp(t) => {
@@ -383,6 +420,52 @@ impl Drop for Cluster {
     }
 }
 
+/// Publishes the pre-existing per-node storage atomics (buffer pool, WAL)
+/// and the cluster-wide [`NetStats`] into the registry as lazy collectors —
+/// the hot paths keep their own counters and pay nothing extra.
+fn register_cluster_metrics(obs: &MetricsRegistry, nodes: &[Arc<Node>], net: &Arc<NetStats>) {
+    for node in nodes {
+        let id = node.id;
+        macro_rules! pool_stat {
+            ($field:ident) => {{
+                let store = node.store.clone();
+                obs.register_collector(
+                    &format!("node{id}.buffer.{}", stringify!($field)),
+                    move || store.pool().stats().$field,
+                );
+            }};
+        }
+        pool_stat!(hits);
+        pool_stat!(misses);
+        pool_stat!(writebacks);
+        pool_stat!(evictions);
+        macro_rules! wal_stat {
+            ($field:ident) => {{
+                let store = node.store.clone();
+                obs.register_collector(
+                    &format!("node{id}.wal.{}", stringify!($field)),
+                    move || store.wal_stats().$field,
+                );
+            }};
+        }
+        wal_stat!(commits);
+        wal_stat!(pages);
+        wal_stat!(bytes);
+    }
+    macro_rules! net_stat {
+        ($field:ident) => {{
+            let net = net.clone();
+            obs.register_collector(&format!("net.{}", stringify!($field)), move || {
+                net.$field.load(Ordering::Relaxed)
+            });
+        }};
+    }
+    net_stat!(bytes);
+    net_stat!(tuples);
+    net_stat!(pulls);
+    net_stat!(pull_bytes);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -430,6 +513,26 @@ mod tests {
         let d = cluster.net.since(base);
         assert_eq!(d.bytes, 150);
         assert_eq!(d.tuples, 2);
+    }
+
+    #[test]
+    fn registry_surfaces_storage_and_net_counters() {
+        let cluster = Cluster::create(&ClusterConfig::for_test(2, "obs")).unwrap();
+        // Touch node 0's store so buffer counters move.
+        let f = cluster.node(0).store.create_file("t").unwrap();
+        f.insert(b"x").unwrap();
+        cluster.node(0).store.commit().unwrap();
+        cluster.net.ship(64);
+        let snap = cluster.obs().snapshot();
+        assert!(snap.contains_key("node0.buffer.hits"), "keys: {:?}", snap.keys());
+        assert!(snap.contains_key("node1.wal.commits"));
+        assert_eq!(snap["net.bytes"], 64);
+        assert_eq!(snap["net.tuples"], 1);
+        assert!(snap["node0.wal.commits"] >= 1, "commit not visible: {snap:?}");
+        // stream() publishes into the registry too.
+        let before = snap["exec.streams_opened"];
+        let _ = cluster.stream(4, 0, 1).unwrap();
+        assert_eq!(cluster.obs().get("exec.streams_opened"), Some(before + 1));
     }
 
     #[test]

@@ -35,9 +35,10 @@ pub mod table;
 pub mod tuple;
 pub mod value;
 
-pub use cluster::{Cluster, ClusterConfig, Node, NodeId, Transport, WireTransport};
+pub use cluster::{Cluster, ClusterConfig, NetSnapshot, Node, NodeId, Transport, WireTransport};
 pub use decluster::Decluster;
 pub use metrics::{PhaseTimes, QueryMetrics};
+pub use phase::RowCounted;
 pub use schema::{DataType, Field, Schema};
 pub use stream::{RemoteRx, RemoteTx};
 pub use table::TableDef;

@@ -1,14 +1,25 @@
 //! Query cost accounting (the shared-nothing timing model).
 
+use crate::cluster::NetSnapshot;
+use paradise_storage::BufferStats;
 use std::time::Duration;
 
-/// Per-node busy time of one parallel phase.
-#[derive(Debug, Clone)]
+/// Per-node busy time of one parallel phase, plus the per-operator
+/// observability captured by [`crate::phase::run_phase`]: output
+/// cardinality, network traffic and buffer-pool activity during the phase.
+#[derive(Debug, Clone, Default)]
 pub struct PhaseTimes {
     /// Phase label (e.g. "scan+select", "repartition", "local join").
     pub name: String,
     /// Busy time of each node during the phase.
     pub node_busy: Vec<Duration>,
+    /// Per-node output cardinality, when the phase output is row-shaped
+    /// (`None` for opaque outputs like pre-built indexes).
+    pub node_rows: Option<Vec<u64>>,
+    /// Cross-node traffic charged while the phase ran.
+    pub net: NetSnapshot,
+    /// Buffer-pool activity (summed over all nodes) while the phase ran.
+    pub buffer: BufferStats,
 }
 
 impl PhaseTimes {
@@ -21,6 +32,12 @@ impl PhaseTimes {
     /// Total work across nodes (for utilisation statistics).
     pub fn total_work(&self) -> Duration {
         self.node_busy.iter().sum()
+    }
+
+    /// Total output rows across nodes (`None` when the output of this
+    /// phase is not row-shaped).
+    pub fn rows_out(&self) -> Option<u64> {
+        self.node_rows.as_ref().map(|r| r.iter().sum())
     }
 }
 
@@ -57,9 +74,88 @@ impl QueryMetrics {
         self.phases.iter().map(|p| p.total_work()).sum::<Duration>() + self.sequential
     }
 
-    /// Adds a phase record.
+    /// Number of nodes involved (max across phases).
+    pub fn num_nodes(&self) -> usize {
+        self.phases.iter().map(|p| p.node_busy.len()).max().unwrap_or(0)
+    }
+
+    /// Parallel utilisation in percent: how much of the cluster's capacity
+    /// along the simulated critical path did useful work. 100% means every
+    /// node was busy for the whole simulated time.
+    pub fn utilisation(&self) -> f64 {
+        let nodes = self.num_nodes();
+        let sim = self.simulated_time().as_secs_f64();
+        if nodes == 0 || sim <= 0.0 {
+            return 100.0;
+        }
+        (self.total_work().as_secs_f64() / (sim * nodes as f64) * 100.0).min(100.0)
+    }
+
+    /// Adds a plain phase record (no per-operator observability — used by
+    /// tests and by callers that measured busy times themselves).
     pub fn push_phase(&mut self, name: &str, node_busy: Vec<Duration>) {
-        self.phases.push(PhaseTimes { name: name.to_string(), node_busy });
+        self.phases.push(PhaseTimes { name: name.to_string(), node_busy, ..Default::default() });
+    }
+
+    /// Adds a fully populated phase record.
+    pub fn push_phase_record(&mut self, phase: PhaseTimes) {
+        self.phases.push(phase);
+    }
+}
+
+/// Compact duration like "3.42ms" padded into a fixed-width cell.
+fn dur_cell(d: Duration, width: usize) -> String {
+    format!("{:>width$}", format!("{d:.2?}"))
+}
+
+/// The per-query report: a phases table (rows, busy critical path, total
+/// work, net traffic, buffer hit rate), the sequential remainder, and the
+/// simulated/wall/utilisation summary. This is the single formatting path
+/// for examples, the bench tables, and `EXPLAIN ANALYZE`.
+impl std::fmt::Display for QueryMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name_w = self.phases.iter().map(|p| p.name.len()).max().unwrap_or(5).max(5);
+        writeln!(
+            f,
+            "{:<name_w$} {:>9} {:>10} {:>10} {:>10} {:>14}",
+            "phase", "rows", "busy(max)", "work", "net KB", "buf hit/miss"
+        )?;
+        for p in &self.phases {
+            let rows = match p.rows_out() {
+                Some(r) => r.to_string(),
+                None => "-".to_string(),
+            };
+            writeln!(
+                f,
+                "{:<name_w$} {:>9} {} {} {:>10.1} {:>9}/{:<4}",
+                p.name,
+                rows,
+                dur_cell(p.critical(), 10),
+                dur_cell(p.total_work(), 10),
+                p.net.bytes as f64 / 1024.0,
+                p.buffer.hits,
+                p.buffer.misses,
+            )?;
+        }
+        if self.sequential > Duration::ZERO {
+            writeln!(f, "{:<name_w$} {:>9} {}", "sequential", "-", dur_cell(self.sequential, 10))?;
+        }
+        writeln!(
+            f,
+            "simulated {:.2?}  wall {:.2?}  utilisation {:.1}% over {} nodes",
+            self.simulated_time(),
+            self.wall,
+            self.utilisation(),
+            self.num_nodes(),
+        )?;
+        write!(
+            f,
+            "net {:.1} KB / {} tuples  pulls {} ({:.1} KB)",
+            self.net_bytes as f64 / 1024.0,
+            self.net_tuples,
+            self.pulls,
+            self.pull_bytes as f64 / 1024.0,
+        )
     }
 }
 
@@ -85,5 +181,53 @@ mod tests {
     fn empty_metrics() {
         let m = QueryMetrics::default();
         assert_eq!(m.simulated_time(), Duration::ZERO);
+        assert_eq!(m.num_nodes(), 0);
+        assert_eq!(m.utilisation(), 100.0);
+    }
+
+    #[test]
+    fn rows_out_sums_per_node_counts() {
+        let p = PhaseTimes {
+            name: "scan".into(),
+            node_busy: vec![ms(1), ms(2)],
+            node_rows: Some(vec![10, 32]),
+            ..Default::default()
+        };
+        assert_eq!(p.rows_out(), Some(42));
+        let opaque = PhaseTimes { name: "index".into(), ..Default::default() };
+        assert_eq!(opaque.rows_out(), None);
+    }
+
+    #[test]
+    fn display_renders_phases_and_summary() {
+        let mut m = QueryMetrics::default();
+        m.push_phase_record(PhaseTimes {
+            name: "scan + clip".into(),
+            node_busy: vec![ms(10), ms(30)],
+            node_rows: Some(vec![5, 7]),
+            net: NetSnapshot { bytes: 2048, tuples: 12, ..Default::default() },
+            buffer: BufferStats { hits: 90, misses: 10, ..Default::default() },
+        });
+        m.sequential = ms(3);
+        m.net_bytes = 4096;
+        m.net_tuples = 12;
+        m.pulls = 2;
+        let text = m.to_string();
+        assert!(text.contains("scan + clip"), "{text}");
+        assert!(text.contains("12"), "{text}");
+        assert!(text.contains("90"), "{text}");
+        assert!(text.contains("sequential"), "{text}");
+        assert!(text.contains("utilisation"), "{text}");
+        assert!(text.contains("pulls 2"), "{text}");
+    }
+
+    #[test]
+    fn utilisation_is_bounded() {
+        let mut m = QueryMetrics::default();
+        m.push_phase("even", vec![ms(10), ms(10)]);
+        assert!((m.utilisation() - 100.0).abs() < 1e-6);
+        let mut skewed = QueryMetrics::default();
+        skewed.push_phase("skew", vec![ms(0), ms(100)]);
+        assert!(skewed.utilisation() <= 51.0);
     }
 }

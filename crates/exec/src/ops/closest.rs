@@ -157,7 +157,9 @@ pub fn closest_join(
                 .enumerate()
                 .map(|(i, t)| Ok((t.get(inner_col)?.as_shape()?.bbox(), i as u64)))
                 .collect::<Result<_>>()?;
-            Ok((frag, RTree::bulk_load(entries)))
+            let mut tree = RTree::bulk_load(entries);
+            tree.set_visit_counter(cluster.obs().counter("rtree.node_visits"));
+            Ok((frag, tree))
         })?;
         for (frag, tree) in built.drain(..) {
             frags.push(frag);

@@ -9,28 +9,77 @@
 //! path — the paper's cost model with one CPU per node.
 
 use crate::cluster::Cluster;
-use crate::metrics::QueryMetrics;
+use crate::metrics::{PhaseTimes, QueryMetrics};
 use crate::tuple::Tuple;
 use crate::{NodeId, Result};
 use std::time::Instant;
 
+/// Output cardinality of a phase's per-node result, for automatic
+/// per-operator row accounting in [`run_phase`].
+///
+/// Row-shaped outputs (`Vec`, `HashMap`) report their length; opaque
+/// outputs (indexes, scalars, composites) report `None`, which marks the
+/// whole phase's cardinality as not-row-shaped rather than as zero.
+pub trait RowCounted {
+    /// Number of rows in this output, if it is row-shaped.
+    fn row_count(&self) -> Option<u64> {
+        None
+    }
+}
+
+impl<T> RowCounted for Vec<T> {
+    fn row_count(&self) -> Option<u64> {
+        Some(self.len() as u64)
+    }
+}
+
+impl<K, V, S> RowCounted for std::collections::HashMap<K, V, S> {
+    fn row_count(&self) -> Option<u64> {
+        Some(self.len() as u64)
+    }
+}
+
+impl RowCounted for usize {}
+impl RowCounted for () {}
+impl<A, B> RowCounted for (A, B) {}
+
 /// Runs one parallel phase: `work(node_id)` for every node, recording
-/// per-node busy time into `metrics` under `name`. Returns each node's
-/// output.
-pub fn run_phase<O>(
+/// per-node busy time into `metrics` under `name`, together with the
+/// phase's output cardinality, the cross-node traffic and the (summed)
+/// buffer-pool activity charged while it ran. Each node's fragment also
+/// runs under a trace span on that node's lane, so `EXPLAIN ANALYZE`
+/// renders one Chrome-trace track per node. Returns each node's output.
+pub fn run_phase<O: RowCounted>(
     cluster: &Cluster,
     metrics: &mut QueryMetrics,
     name: &str,
     mut work: impl FnMut(NodeId) -> Result<O>,
 ) -> Result<Vec<O>> {
+    let net0 = cluster.net.snapshot();
+    let buf0 = cluster.buffer_stats_total();
     let mut busy = Vec::with_capacity(cluster.num_nodes());
     let mut outs = Vec::with_capacity(cluster.num_nodes());
+    let mut rows = Vec::with_capacity(cluster.num_nodes());
+    let mut countable = true;
     for id in 0..cluster.num_nodes() {
+        let span = cluster.trace().span(name, id as u32);
         let t0 = Instant::now();
-        outs.push(work(id)?);
+        let out = work(id)?;
         busy.push(t0.elapsed());
+        drop(span);
+        match out.row_count() {
+            Some(n) => rows.push(n),
+            None => countable = false,
+        }
+        outs.push(out);
     }
-    metrics.push_phase(name, busy);
+    metrics.push_phase_record(PhaseTimes {
+        name: name.to_string(),
+        node_busy: busy,
+        node_rows: countable.then_some(rows),
+        net: cluster.net.since(net0),
+        buffer: cluster.buffer_stats_total().since(buf0),
+    });
     Ok(outs)
 }
 
@@ -124,6 +173,34 @@ mod tests {
         assert_eq!(m.phases.len(), 1);
         assert_eq!(m.phases[0].node_busy.len(), 3);
         assert_eq!(m.phases[0].name, "square");
+        // usize outputs are opaque, not row-shaped.
+        assert_eq!(m.phases[0].rows_out(), None);
+    }
+
+    #[test]
+    fn phases_capture_rows_net_and_spans() {
+        let cluster = Cluster::create(&ClusterConfig::for_test(2, "phase-obs")).unwrap();
+        cluster.trace().set_enabled(true);
+        let mut m = QueryMetrics::default();
+        let outs = run_phase(&cluster, &mut m, "emit", |id| {
+            if id == 1 {
+                cluster.net.ship(128);
+            }
+            Ok(vec![Tuple::new(vec![Value::Int(id as i64)]); id + 1])
+        })
+        .unwrap();
+        assert_eq!(outs.len(), 2);
+        let p = &m.phases[0];
+        assert_eq!(p.node_rows, Some(vec![1, 2]));
+        assert_eq!(p.rows_out(), Some(3));
+        assert_eq!(p.net.bytes, 128, "net delta is scoped to the phase");
+        // One span per node, on that node's lane.
+        let evs = cluster.trace().events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].name, "emit");
+        assert_eq!(evs[0].lane, 0);
+        assert_eq!(evs[1].lane, 1);
+        cluster.trace().set_enabled(false);
     }
 
     #[test]

@@ -244,7 +244,9 @@ impl TableDef {
         Ok(())
     }
 
-    /// Loads one node's persisted R*-tree index on `col`.
+    /// Loads one node's persisted R*-tree index on `col`, wired to the
+    /// cluster's `rtree.node_visits` metric so index selectivity shows up
+    /// in the registry.
     pub fn rtree_index(&self, cluster: &Cluster, node: NodeId, col: usize) -> Result<RTree> {
         let file =
             cluster.node(node).store.file(&self.rtree_index_file(col)).ok_or_else(|| {
@@ -253,7 +255,9 @@ impl TableDef {
         let rows = file.scan()?;
         let bytes =
             rows.first().ok_or_else(|| ExecError::NotFound("empty rtree index file".into()))?;
-        Ok(RTree::from_bytes(&bytes.1)?)
+        let mut tree = RTree::from_bytes(&bytes.1)?;
+        tree.set_visit_counter(cluster.obs().counter("rtree.node_visits"));
+        Ok(tree)
     }
 
     /// Drops the table's fragments and indexes everywhere.

@@ -37,6 +37,28 @@ impl Date {
         }
         Ok(Date::from_ymd(y, m, d))
     }
+
+    /// Decomposes back into (year, month, day).
+    pub fn ymd(self) -> (i64, u32, u32) {
+        // Howard Hinnant's civil_from_days algorithm.
+        let z = self.0 + 719_468;
+        let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+        let doe = z - era * 146_097;
+        let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+        let y = yoe + era * 400;
+        let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+        let mp = (5 * doy + 2) / 153;
+        let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+        let m = (if mp < 10 { mp + 3 } else { mp - 9 }) as u32;
+        (if m <= 2 { y + 1 } else { y }, m, d)
+    }
+}
+
+impl std::fmt::Display for Date {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (y, m, d) = self.ymd();
+        write!(f, "{y:04}-{m:02}-{d:02}")
+    }
 }
 
 /// The mapping-table entry for one stored raster tile (Figure 2.3): the
@@ -491,6 +513,14 @@ mod tests {
         // leap-year handling
         assert_eq!(Date::from_ymd(2000, 3, 1).0 - Date::from_ymd(2000, 2, 28).0, 2);
         assert_eq!(Date::from_ymd(1900, 3, 1).0 - Date::from_ymd(1900, 2, 28).0, 1);
+    }
+
+    #[test]
+    fn date_ymd_round_trips_and_displays() {
+        for (y, m, d) in [(1970, 1, 1), (1988, 4, 1), (2000, 2, 29), (1969, 12, 31)] {
+            assert_eq!(Date::from_ymd(y, m, d).ymd(), (y, m, d));
+        }
+        assert_eq!(Date::from_ymd(1988, 4, 1).to_string(), "1988-04-01");
     }
 
     #[test]

@@ -203,6 +203,20 @@ impl TcpTransport {
         &self.stats
     }
 
+    /// Publishes the wire-level counters into a metrics registry as lazy
+    /// collectors (`net.wire.bytes_sent`, `net.wire.frames_sent`), so an
+    /// `EXPLAIN ANALYZE` profile can prove traffic really crossed sockets.
+    pub fn register_metrics(&self, obs: &paradise_obs::MetricsRegistry) {
+        let stats = self.stats.clone();
+        obs.register_collector("net.wire.bytes_sent", move || {
+            stats.bytes_sent.load(Ordering::Relaxed)
+        });
+        let stats = self.stats.clone();
+        obs.register_collector("net.wire.frames_sent", move || {
+            stats.frames_sent.load(Ordering::Relaxed)
+        });
+    }
+
     /// The listening address of endpoint `id` (a node, or the QC).
     pub fn addr(&self, id: NodeId) -> Option<SocketAddr> {
         self.addrs.get(id).copied()

@@ -1,0 +1,23 @@
+//! paradise-obs: the observability substrate (DESIGN §8).
+//!
+//! Two halves, both std-only and dependency-free:
+//!
+//! * [`registry`] — a process-wide [`MetricsRegistry`] of *named* atomic
+//!   counters, gauges and histograms. Subsystems either hand out cheap
+//!   `Clone`-able handles ([`Counter`], [`Gauge`], [`Histogram`]) that they
+//!   bump on the hot path, or register *collector* closures that read
+//!   pre-existing atomics (e.g. `BufferPool` stats) lazily at snapshot time.
+//! * [`trace`] — span-based tracing. A [`TraceSink`] collects completed
+//!   [`Span`]s and serialises them as Chrome-trace-format JSON (open the
+//!   file in `chrome://tracing` or <https://ui.perfetto.dev>), one lane per
+//!   node/operator. Disabled sinks cost a single relaxed atomic load per
+//!   span, so instrumentation can stay compiled-in everywhere.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod registry;
+pub mod trace;
+
+pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry};
+pub use trace::{Span, TraceEvent, TraceSink};

@@ -1,0 +1,344 @@
+//! Named-metric registry: lock-light handles on the hot path, a single
+//! mutex-guarded name table on the (cold) registration/snapshot path.
+//!
+//! Design: a handle is an `Arc<AtomicU64>` (or a small array of them for
+//! histograms). Incrementing is one relaxed `fetch_add` — no lock, no name
+//! lookup. The registry's mutex is taken only when a metric is *created*
+//! or when a snapshot/render is requested, which happens once per query
+//! (EXPLAIN ANALYZE) or per report, never per tuple.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Monotonically increasing counter. Cloning shares the underlying atomic.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A counter not (yet) attached to any registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+    /// Add 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins gauge (e.g. "frames currently cached").
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Set the current value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+const HIST_BUCKETS: usize = 64;
+
+#[derive(Debug)]
+struct HistogramInner {
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+    /// `buckets[i]` counts samples with `v < 2^i` (and `>= 2^(i-1)`).
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Default for HistogramInner {
+    fn default() -> Self {
+        HistogramInner {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Power-of-two bucketed histogram (latency in µs, sizes in bytes, …).
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    /// Record one sample.
+    pub fn record(&self, v: u64) {
+        let i = (u64::BITS - v.leading_zeros()).min(HIST_BUCKETS as u32 - 1) as usize;
+        self.0.buckets[i].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+        self.0.max.fetch_max(v, Ordering::Relaxed);
+    }
+    /// Point-in-time summary of the samples recorded so far.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.0.count.load(Ordering::Relaxed);
+        let sum = self.0.sum.load(Ordering::Relaxed);
+        let max = self.0.max.load(Ordering::Relaxed);
+        // Approximate p99 as the upper bound of the bucket holding the
+        // 99th-percentile sample.
+        let target = count - count / 100;
+        let mut seen = 0;
+        let mut p99 = 0;
+        for (i, b) in self.0.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if count > 0 && seen >= target {
+                p99 = if i >= 63 { u64::MAX } else { 1u64 << i };
+                break;
+            }
+        }
+        HistogramSnapshot { count, sum, max, p99 }
+    }
+}
+
+/// Summary returned by [`Histogram::snapshot`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Upper bound of the bucket containing the 99th-percentile sample.
+    pub p99: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value (0 if empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+type CollectorFn = Arc<dyn Fn() -> u64 + Send + Sync>;
+
+#[derive(Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+    /// Reads a pre-existing atomic (or computes a value) at snapshot time.
+    Collector(CollectorFn),
+}
+
+/// The unified name → metric table. One per cluster.
+///
+/// All lookups are idempotent: asking for `counter("x")` twice returns
+/// handles sharing the same atomic, so independent subsystems can publish
+/// into the same name without coordination.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("len", &self.metrics.lock().expect("metrics lock").len())
+            .finish()
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get-or-create the counter named `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut m = self.metrics.lock().expect("metrics lock");
+        match m.get(name) {
+            Some(Metric::Counter(c)) => c.clone(),
+            _ => {
+                let c = Counter::new();
+                m.insert(name.to_string(), Metric::Counter(c.clone()));
+                c
+            }
+        }
+    }
+
+    /// Get-or-create the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut m = self.metrics.lock().expect("metrics lock");
+        match m.get(name) {
+            Some(Metric::Gauge(g)) => g.clone(),
+            _ => {
+                let g = Gauge::default();
+                m.insert(name.to_string(), Metric::Gauge(g.clone()));
+                g
+            }
+        }
+    }
+
+    /// Get-or-create the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut m = self.metrics.lock().expect("metrics lock");
+        match m.get(name) {
+            Some(Metric::Histogram(h)) => h.clone(),
+            _ => {
+                let h = Histogram::default();
+                m.insert(name.to_string(), Metric::Histogram(h.clone()));
+                h
+            }
+        }
+    }
+
+    /// Register a closure evaluated lazily at snapshot time — the bridge
+    /// for subsystems that already keep their own atomics (buffer pools,
+    /// WAL, wire transports) and should not be rewritten to hold handles.
+    pub fn register_collector<F>(&self, name: &str, f: F)
+    where
+        F: Fn() -> u64 + Send + Sync + 'static,
+    {
+        let mut m = self.metrics.lock().expect("metrics lock");
+        m.insert(name.to_string(), Metric::Collector(Arc::new(f)));
+    }
+
+    /// Read a single metric by name (histograms report their sample count).
+    pub fn get(&self, name: &str) -> Option<u64> {
+        let m = self.metrics.lock().expect("metrics lock");
+        m.get(name).map(|metric| match metric {
+            Metric::Counter(c) => c.get(),
+            Metric::Gauge(g) => g.get(),
+            Metric::Histogram(h) => h.snapshot().count,
+            Metric::Collector(f) => f(),
+        })
+    }
+
+    /// Point-in-time values of every metric, sorted by name. Histograms
+    /// expand to `name.count`, `name.sum`, `name.max` and `name.p99`.
+    pub fn snapshot(&self) -> BTreeMap<String, u64> {
+        // Clone the handles out so collectors run without holding the lock
+        // (a collector may itself consult the registry).
+        let metrics: Vec<(String, Metric)> = {
+            let m = self.metrics.lock().expect("metrics lock");
+            m.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+        };
+        let mut out = BTreeMap::new();
+        for (name, metric) in metrics {
+            match metric {
+                Metric::Counter(c) => {
+                    out.insert(name, c.get());
+                }
+                Metric::Gauge(g) => {
+                    out.insert(name, g.get());
+                }
+                Metric::Collector(f) => {
+                    out.insert(name, f());
+                }
+                Metric::Histogram(h) => {
+                    let s = h.snapshot();
+                    out.insert(format!("{name}.count"), s.count);
+                    out.insert(format!("{name}.sum"), s.sum);
+                    out.insert(format!("{name}.max"), s.max);
+                    out.insert(format!("{name}.p99"), s.p99);
+                }
+            }
+        }
+        out
+    }
+
+    /// Human-readable `name value` listing (Prometheus-text-alike).
+    pub fn render(&self) -> String {
+        let snap = self.snapshot();
+        let width = snap.keys().map(|k| k.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (name, value) in &snap {
+            let _ = writeln!(out, "{name:<width$}  {value}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_share_state() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.add(3);
+        b.inc();
+        assert_eq!(reg.get("x"), Some(4));
+        assert_eq!(a.get(), 4);
+    }
+
+    #[test]
+    fn collectors_read_lazily() {
+        let reg = MetricsRegistry::new();
+        let shared = Arc::new(AtomicU64::new(0));
+        let probe = shared.clone();
+        reg.register_collector("ext", move || probe.load(Ordering::Relaxed));
+        assert_eq!(reg.get("ext"), Some(0));
+        shared.store(99, Ordering::Relaxed);
+        assert_eq!(reg.get("ext"), Some(99));
+    }
+
+    #[test]
+    fn histogram_summarises() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat");
+        for v in [1u64, 2, 3, 100] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 106);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.mean(), 26);
+        assert!(s.p99 >= 100);
+        let snap = reg.snapshot();
+        assert_eq!(snap.get("lat.count"), Some(&4));
+        assert_eq!(snap.get("lat.sum"), Some(&106));
+    }
+
+    #[test]
+    fn render_lists_sorted_names() {
+        let reg = MetricsRegistry::new();
+        reg.counter("b.second").add(2);
+        reg.counter("a.first").inc();
+        let text = reg.render();
+        let first = text.lines().next().unwrap();
+        assert!(first.starts_with("a.first"), "unsorted render: {text}");
+        assert_eq!(text.lines().count(), 2);
+    }
+
+    #[test]
+    fn concurrent_increments_are_not_lost() {
+        let reg = Arc::new(MetricsRegistry::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let reg = reg.clone();
+                std::thread::spawn(move || {
+                    let c = reg.counter("hot");
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(reg.get("hot"), Some(4000));
+    }
+}

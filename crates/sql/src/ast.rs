@@ -107,6 +107,28 @@ pub enum Projection {
     Exprs(Vec<Expr>),
 }
 
+/// How (whether) the statement asks for its plan instead of its result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExplainMode {
+    /// Run the query normally.
+    #[default]
+    None,
+    /// `EXPLAIN …` — show the chosen plan without executing it.
+    Plan,
+    /// `EXPLAIN ANALYZE …` — execute, then show the plan annotated with
+    /// per-operator row counts, busy time, and buffer/network activity.
+    Analyze,
+}
+
+/// A full statement: an optional EXPLAIN prefix around a SELECT.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Statement {
+    /// EXPLAIN / EXPLAIN ANALYZE prefix, if any.
+    pub explain: ExplainMode,
+    /// The SELECT being run (or explained).
+    pub select: SelectStmt,
+}
+
 /// A parsed SELECT statement.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SelectStmt {

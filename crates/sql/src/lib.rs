@@ -18,8 +18,8 @@ pub mod ast;
 pub mod lexer;
 pub mod parser;
 
-pub use ast::{BinOp, Expr, SelectStmt};
-pub use parser::parse_select;
+pub use ast::{BinOp, ExplainMode, Expr, SelectStmt, Statement};
+pub use parser::{parse_select, parse_statement};
 
 /// Parse errors with position information.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,6 +1,6 @@
 //! Recursive-descent parser for the extended SQL dialect.
 
-use crate::ast::{BinOp, Expr, Projection, SelectStmt};
+use crate::ast::{BinOp, ExplainMode, Expr, Projection, SelectStmt, Statement};
 use crate::lexer::{lex, Spanned, Token};
 use crate::{ParseError, Result};
 
@@ -203,12 +203,34 @@ impl Parser {
         }
         Ok(SelectStmt { projection, tables, where_clause, group_by, order_by })
     }
+
+    /// statement := [EXPLAIN [ANALYZE]] select
+    fn statement(&mut self) -> Result<Statement> {
+        let explain = if self.keyword("explain") {
+            if self.keyword("analyze") {
+                ExplainMode::Analyze
+            } else {
+                ExplainMode::Plan
+            }
+        } else {
+            ExplainMode::None
+        };
+        let select = self.select()?;
+        Ok(Statement { explain, select })
+    }
 }
 
 /// Parses one SELECT statement.
 pub fn parse_select(input: &str) -> Result<SelectStmt> {
     let toks = lex(input)?;
     Parser { toks, pos: 0 }.select()
+}
+
+/// Parses one statement: a SELECT, optionally prefixed with
+/// `EXPLAIN` or `EXPLAIN ANALYZE`.
+pub fn parse_statement(input: &str) -> Result<Statement> {
+    let toks = lex(input)?;
+    Parser { toks, pos: 0 }.statement()
 }
 
 #[cfg(test)]
@@ -307,6 +329,19 @@ mod tests {
         assert!(parse_select("select * from t trailing junk").is_err());
         let e = parse_select("select a from t where a = ").unwrap_err();
         assert!(e.message.contains("expected expression"));
+    }
+
+    #[test]
+    fn explain_prefixes() {
+        let s = parse_statement("select * from roads").unwrap();
+        assert_eq!(s.explain, ExplainMode::None);
+        let s = parse_statement("explain select * from roads").unwrap();
+        assert_eq!(s.explain, ExplainMode::Plan);
+        let s = parse_statement("EXPLAIN ANALYZE select * from roads where x = 1").unwrap();
+        assert_eq!(s.explain, ExplainMode::Analyze);
+        assert!(s.select.where_clause.is_some());
+        // EXPLAIN needs a statement after it.
+        assert!(parse_statement("explain analyze").is_err());
     }
 
     #[test]

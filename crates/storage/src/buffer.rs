@@ -29,6 +29,40 @@ pub struct BufferStats {
     pub evictions: u64,
 }
 
+impl BufferStats {
+    /// Component-wise delta against an earlier snapshot of the same pool
+    /// (saturating, so a `reset_stats` in between degrades to zeros
+    /// instead of wrapping).
+    pub fn since(&self, base: BufferStats) -> BufferStats {
+        BufferStats {
+            hits: self.hits.saturating_sub(base.hits),
+            misses: self.misses.saturating_sub(base.misses),
+            writebacks: self.writebacks.saturating_sub(base.writebacks),
+            evictions: self.evictions.saturating_sub(base.evictions),
+        }
+    }
+
+    /// Component-wise sum (for aggregating across the pools of a cluster).
+    pub fn merge(&self, other: BufferStats) -> BufferStats {
+        BufferStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            writebacks: self.writebacks + other.writebacks,
+            evictions: self.evictions + other.evictions,
+        }
+    }
+
+    /// Hit rate in percent (100 when there were no requests at all).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            100.0
+        } else {
+            self.hits as f64 * 100.0 / total as f64
+        }
+    }
+}
+
 struct Frame {
     pid: PageId,
     page: RwLock<Page>,
@@ -234,7 +268,36 @@ impl BufferPool {
     }
 
     /// Snapshot of the statistics.
+    ///
+    /// Every counter mutation happens while the `frames` mutex is held
+    /// (`get`/`make_room`/`flush_*` all update under it), so taking the
+    /// same lock here yields an internally *consistent* snapshot: a
+    /// concurrent `get` can never be half-counted (hit recorded, miss
+    /// missing) between the individual loads.
     pub fn stats(&self) -> BufferStats {
+        let _frames = self.frames.lock();
+        self.stats_locked()
+    }
+
+    /// Resets the statistics (between benchmark queries). Holds the
+    /// `frames` lock so the reset is atomic with respect to in-flight
+    /// requests — no increment lands between clearing `hits` and
+    /// clearing `misses`.
+    pub fn reset_stats(&self) {
+        let _frames = self.frames.lock();
+        self.reset_stats_locked();
+    }
+
+    /// Atomically snapshot **and** reset — the lost-update-free way to
+    /// accumulate deltas while a query is running concurrently.
+    pub fn take_stats(&self) -> BufferStats {
+        let _frames = self.frames.lock();
+        let s = self.stats_locked();
+        self.reset_stats_locked();
+        s
+    }
+
+    fn stats_locked(&self) -> BufferStats {
         BufferStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
@@ -243,8 +306,7 @@ impl BufferPool {
         }
     }
 
-    /// Resets the statistics (between benchmark queries).
-    pub fn reset_stats(&self) {
+    fn reset_stats_locked(&self) {
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
         self.writebacks.store(0, Ordering::Relaxed);
@@ -345,6 +407,47 @@ mod tests {
         assert_eq!(g.read().get(0).unwrap(), b"cold");
         assert_eq!(pool.stats().misses, 1);
         assert_eq!(pool.stats().hits, 0);
+    }
+
+    /// Regression (ISSUE 2 satellite): snapshots taken while a query is
+    /// hammering the pool must be internally consistent and must not lose
+    /// updates. With the old unlocked read-then-reset, increments landing
+    /// between the load and the store vanished, so the accumulated total
+    /// undercounted; `take_stats` holds the frames lock, making
+    /// snapshot+reset atomic against in-flight requests.
+    #[test]
+    fn stats_snapshots_are_coherent_under_concurrency() {
+        let (pool, vol) = pool(16, "g.vol");
+        let e = vol.alloc_extent().unwrap();
+        {
+            let g = pool.get_new(e).unwrap();
+            g.write().insert(b"hot").unwrap();
+        }
+        pool.reset_stats();
+        let pool = Arc::new(pool);
+        const THREADS: usize = 4;
+        const GETS: u64 = 2000;
+        let workers: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let p = pool.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..GETS {
+                        let _ = p.get(e).unwrap();
+                    }
+                })
+            })
+            .collect();
+        // Concurrently drain snapshots the whole time the workers run.
+        let mut acc = BufferStats::default();
+        while workers.iter().any(|w| !w.is_finished()) {
+            acc = acc.merge(pool.take_stats());
+        }
+        for w in workers {
+            w.join().unwrap();
+        }
+        acc = acc.merge(pool.take_stats());
+        let total = acc.hits + acc.misses;
+        assert_eq!(total, THREADS as u64 * GETS, "snapshot accumulation lost updates: {acc:?}");
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub use page::{Page, PageId, SlotId, PAGE_SIZE};
 pub use rtree::RTree;
 pub use store::{Oid, Store};
 pub use volume::Volume;
+pub use wal::WalStats;
 
 /// Errors from the storage layer.
 #[derive(Debug)]

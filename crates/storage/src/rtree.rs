@@ -15,6 +15,7 @@
 
 use crate::{Result, StorageError};
 use paradise_geom::{Circle, Point, Rect};
+use paradise_obs::Counter;
 use std::cmp::Ordering as CmpOrd;
 use std::collections::BinaryHeap;
 
@@ -48,6 +49,10 @@ pub struct RTree {
     root: Node,
     height: usize, // 1 = root is a leaf
     len: usize,
+    /// Optional observability hook: counts tree nodes touched by searches.
+    /// `Counter` clones share the underlying atomic, so cloned trees keep
+    /// publishing into the same metric.
+    visits: Option<Counter>,
 }
 
 impl Default for RTree {
@@ -59,7 +64,14 @@ impl Default for RTree {
 impl RTree {
     /// An empty tree.
     pub fn new() -> Self {
-        RTree { root: Node::Leaf(Vec::new()), height: 1, len: 0 }
+        RTree { root: Node::Leaf(Vec::new()), height: 1, len: 0, visits: None }
+    }
+
+    /// Attach a counter that is bumped once per tree node touched by
+    /// `search`/`visit`/`search_circle`/`nearest` (R*-tree node visits,
+    /// the classic index-selectivity metric).
+    pub fn set_visit_counter(&mut self, counter: Counter) {
+        self.visits = Some(counter);
     }
 
     /// Number of stored entries.
@@ -188,7 +200,8 @@ impl RTree {
 
     /// Visitor-style window search (avoids materialising results).
     pub fn visit<F: FnMut(Rect, u64)>(&self, window: &Rect, f: &mut F) {
-        fn rec<F: FnMut(Rect, u64)>(node: &Node, w: &Rect, f: &mut F) {
+        fn rec<F: FnMut(Rect, u64)>(node: &Node, w: &Rect, f: &mut F, touched: &mut u64) {
+            *touched += 1;
             match node {
                 Node::Leaf(entries) => {
                     for (r, v) in entries {
@@ -200,14 +213,18 @@ impl RTree {
                 Node::Inner(children) => {
                     for (r, c) in children {
                         if r.intersects(w) {
-                            rec(c, w, f);
+                            rec(c, w, f, touched);
                         }
                     }
                 }
             }
         }
         if !self.is_empty() {
-            rec(&self.root, window, f);
+            let mut touched = 0u64;
+            rec(&self.root, window, f, &mut touched);
+            if let Some(c) = &self.visits {
+                c.add(touched);
+            }
         }
     }
 
@@ -257,10 +274,13 @@ impl RTree {
         }
         let mut heap = BinaryHeap::new();
         heap.push(Item { dist: 0.0, payload: ItemKind::Node(&self.root) });
-        while let Some(item) = heap.pop() {
+        let mut touched = 0u64;
+        let result = loop {
+            let Some(item) = heap.pop() else { break None };
             match item.payload {
-                ItemKind::Entry(r, v) => return Some((r, v, item.dist)),
+                ItemKind::Entry(r, v) => break Some((r, v, item.dist)),
                 ItemKind::Node(Node::Leaf(entries)) => {
+                    touched += 1;
                     for (r, v) in entries {
                         heap.push(Item {
                             dist: r.distance_to_point(p),
@@ -269,6 +289,7 @@ impl RTree {
                     }
                 }
                 ItemKind::Node(Node::Inner(children)) => {
+                    touched += 1;
                     for (r, c) in children {
                         heap.push(Item {
                             dist: r.distance_to_point(p),
@@ -277,8 +298,11 @@ impl RTree {
                     }
                 }
             }
+        };
+        if let Some(c) = &self.visits {
+            c.add(touched);
         }
-        None
+        result
     }
 
     /// Bulk-loads entries with Sort-Tile-Recursive packing. Replaces the
@@ -319,7 +343,7 @@ impl RTree {
             level = next;
             height += 1;
         }
-        RTree { root: level.pop().expect("non-empty"), height, len }
+        RTree { root: level.pop().expect("non-empty"), height, len, visits: None }
     }
 
     /// Serializes the tree to bytes (persistable as a large object).
@@ -404,7 +428,7 @@ impl RTree {
         let height = u16::from_le_bytes(bytes[8..10].try_into().unwrap()) as usize;
         let mut pos = 10;
         let root = rec(bytes, &mut pos)?;
-        Ok(RTree { root, height, len })
+        Ok(RTree { root, height, len, visits: None })
     }
 }
 
@@ -664,6 +688,32 @@ mod tests {
         let mut count = 0usize;
         t.visit(&r(0.0, 0.0, 1000.0, 1000.0), &mut |_, _| count += 1);
         assert_eq!(count, 100);
+    }
+
+    #[test]
+    fn visit_counter_counts_touched_nodes() {
+        let mut t = RTree::bulk_load(rnd_rects(1000));
+        let visits = Counter::new();
+        t.set_visit_counter(visits.clone());
+        // Full-window search touches every node: root + inner + leaves.
+        t.search(&r(-1e9, -1e9, 1e9, 1e9));
+        let full = visits.get();
+        assert!(full > 1000 / MAX_ENTRIES as u64, "full scan touched only {full} nodes");
+        // A tiny window must touch far fewer nodes than the full scan —
+        // this is the index-selectivity signal the metric exists for.
+        let before = visits.get();
+        t.search(&r(0.0, 0.0, 1.0, 1.0));
+        let narrow = visits.get() - before;
+        assert!(narrow > 0 && narrow < full / 4, "narrow {narrow} vs full {full}");
+        // nearest() also reports traversal work.
+        let before = visits.get();
+        t.nearest(&Point::new(500.0, 500.0)).unwrap();
+        assert!(visits.get() > before);
+        // Clones share the counter.
+        let t2 = t.clone();
+        let before = visits.get();
+        t2.search(&r(0.0, 0.0, 1.0, 1.0));
+        assert!(visits.get() > before);
     }
 
     #[test]

@@ -113,6 +113,11 @@ impl Store {
         &self.vol
     }
 
+    /// WAL activity counters (for the metrics registry).
+    pub fn wal_stats(&self) -> crate::wal::WalStats {
+        self.wal.stats()
+    }
+
     /// Creates (or returns the existing) named heap file.
     pub fn create_file(&self, name: &str) -> Result<Arc<HeapFile>> {
         let mut entries = self.entries.lock();

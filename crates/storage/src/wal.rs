@@ -23,14 +23,29 @@ use paradise_util::sync::Mutex;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 const KIND_PAGE: u8 = 1;
 const KIND_COMMIT: u8 = 2;
+
+/// Cumulative WAL activity counters (published into the metrics registry).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Commit records synced.
+    pub commits: u64,
+    /// Page images appended.
+    pub pages: u64,
+    /// Bytes appended (records + commit markers).
+    pub bytes: u64,
+}
 
 /// A write-ahead log backing one volume.
 pub struct Wal {
     path: PathBuf,
     file: Mutex<File>,
+    commits: AtomicU64,
+    pages_logged: AtomicU64,
+    bytes_logged: AtomicU64,
 }
 
 impl Wal {
@@ -38,7 +53,13 @@ impl Wal {
     pub fn open<P: AsRef<Path>>(path: P) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
         let file = OpenOptions::new().read(true).append(true).create(true).open(&path)?;
-        Ok(Wal { path, file: Mutex::new(file) })
+        Ok(Wal {
+            path,
+            file: Mutex::new(file),
+            commits: AtomicU64::new(0),
+            pages_logged: AtomicU64::new(0),
+            bytes_logged: AtomicU64::new(0),
+        })
     }
 
     /// Appends a batch of page images followed by a commit record and syncs.
@@ -57,7 +78,19 @@ impl Wal {
         buf.extend_from_slice(&0u32.to_le_bytes());
         f.write_all(&buf)?;
         f.sync_data()?;
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        self.pages_logged.fetch_add(pages.len() as u64, Ordering::Relaxed);
+        self.bytes_logged.fetch_add(buf.len() as u64, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Snapshot of the activity counters since open.
+    pub fn stats(&self) -> WalStats {
+        WalStats {
+            commits: self.commits.load(Ordering::Relaxed),
+            pages: self.pages_logged.load(Ordering::Relaxed),
+            bytes: self.bytes_logged.load(Ordering::Relaxed),
+        }
     }
 
     /// Truncates the log after its pages have reached the volume.
@@ -198,6 +231,19 @@ mod tests {
         // Log still usable after truncation.
         wal.log_commit(&[(pid, p.bytes())]).unwrap();
         assert!(!wal.is_empty().unwrap());
+    }
+
+    #[test]
+    fn stats_count_commits_pages_and_bytes() {
+        let (wal, _vol, pid) = setup("f");
+        assert_eq!(wal.stats(), WalStats::default());
+        let p = Page::new();
+        wal.log_commit(&[(pid, p.bytes()), (pid + 1, p.bytes())]).unwrap();
+        wal.log_commit(&[(pid, p.bytes())]).unwrap();
+        let s = wal.stats();
+        assert_eq!(s.commits, 2);
+        assert_eq!(s.pages, 3);
+        assert_eq!(s.bytes, wal.len().unwrap());
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! EXPLAIN ANALYZE end-to-end: build a tiny benchmark world, profile Q2
+//! (raster clips) and Q6 (spatial index selection), print the annotated
+//! operator trees, and write a Chrome-trace profile
+//! (`explain_analyze.trace.json` — load it in `chrome://tracing` or
+//! <https://ui.perfetto.dev>).
+//!
+//! ```sh
+//! cargo run --release --example explain_analyze
+//! ```
+//!
+//! Exits non-zero if the profile comes back empty, so CI can use this as
+//! a smoke test of the whole observability pipeline.
+
+use paradise::{Paradise, ParadiseConfig, QueryResult};
+use paradise_datagen::tables::{
+    land_cover_table, populated_places_table, raster_table, World, WorldSpec,
+};
+use std::path::PathBuf;
+
+const US: &str = "Polygon(-125, 25, -67, 25, -67, 49, -125, 49)";
+
+fn plan_lines(r: &QueryResult) -> Vec<String> {
+    r.rows.iter().map(|t| t.get(0).unwrap().as_str().unwrap().to_string()).collect()
+}
+
+fn main() {
+    let trace_path = PathBuf::from("explain_analyze.trace.json");
+    let dir = std::env::temp_dir().join("paradise-explain-analyze");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut db = Paradise::create(
+        ParadiseConfig::new(dir, 4)
+            .with_grid_tiles(256)
+            .with_pool_pages(512)
+            .with_trace(&trace_path),
+    )
+    .expect("create cluster");
+
+    let world = World::generate(WorldSpec::tiny(7));
+    db.define_table(raster_table().with_tile_bytes(4096));
+    db.define_table(populated_places_table());
+    db.define_table(land_cover_table());
+    db.load_table("raster", world.rasters.iter().cloned()).expect("load rasters");
+    db.load_table("populatedPlaces", world.populated_places.iter().cloned()).expect("load places");
+    db.load_table("landCover", world.land_cover.iter().cloned()).expect("load landCover");
+    db.create_rtree_index("landCover", 2).expect("landCover rtree");
+    db.commit().expect("commit");
+
+    let mut annotated = 0;
+    for (name, sql) in [
+        (
+            "Q2",
+            format!(
+                "explain analyze select raster.date, raster.data.clip({US}) \
+                 from raster where raster.channel = 5 order by date"
+            ),
+        ),
+        ("Q6", format!("explain analyze select * from landCover where shape overlaps {US}")),
+    ] {
+        let r = db.sql(&sql).expect(name);
+        println!("=== {name} ===");
+        for line in plan_lines(&r) {
+            if line.contains("rows=") {
+                annotated += 1;
+            }
+            println!("{line}");
+        }
+        println!();
+    }
+
+    // The profile must actually contain per-operator row counts and a
+    // non-empty Chrome trace, or the observability pipeline is broken.
+    let trace = std::fs::read_to_string(&trace_path).expect("trace file");
+    let registry = db.obs().render();
+    println!("--- metrics registry (excerpt) ---");
+    for line in registry.lines().filter(|l| l.contains("rtree.") || l.contains("net.")) {
+        println!("{line}");
+    }
+    if annotated == 0 || !trace.contains("\"ph\":\"X\"") {
+        eprintln!("empty EXPLAIN ANALYZE profile (annotated={annotated})");
+        std::process::exit(1);
+    }
+    println!("\nwrote {} ({} bytes)", trace_path.display(), trace.len());
+}

@@ -58,9 +58,6 @@ fn main() {
             row.get(1).unwrap().as_int().unwrap()
         );
     }
-    println!(
-        "simulated parallel time: {:?} over {} phases",
-        result.metrics.simulated_time(),
-        result.metrics.phases.len()
-    );
+    // The per-phase cost breakdown (`QueryMetrics` implements `Display`).
+    println!("\n{}", result.metrics);
 }

@@ -80,18 +80,26 @@ fn main() {
     ];
 
     println!("\n{:<5}{:>8}{:>14}{:>12}{:>10}", "query", "rows", "simulated", "net KB", "pulls");
+    let mut q12_metrics = None;
     for (name, text) in &statements {
         db.flush_caches().unwrap();
-        let base = db.cluster().net.snapshot();
         let r = db.sql(text).unwrap_or_else(|e| panic!("{name} failed: {e}"));
-        let d = db.cluster().net.since(base);
         println!(
             "{:<5}{:>8}{:>14.4?}{:>12.1}{:>10}",
             name,
             r.rows.len(),
             r.metrics.simulated_time(),
-            d.bytes as f64 / 1024.0,
-            d.pulls
+            r.metrics.net_bytes as f64 / 1024.0,
+            r.metrics.pulls
         );
+        if *name == "Q12" {
+            q12_metrics = Some(r.metrics);
+        }
+    }
+
+    // The full per-phase cost breakdown of one query (`QueryMetrics`
+    // implements `Display`); Q12 is the multi-phase Figure 3.1 plan.
+    if let Some(m) = q12_metrics {
+        println!("\nQ12 cost breakdown:\n{m}");
     }
 }

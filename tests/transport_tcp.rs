@@ -86,7 +86,37 @@ fn q2_q6_identical_results_and_accounting_across_transports() {
         // implies non-zero traffic.
         assert!(a.metrics.net_bytes > 0, "{name}: expected cross-node traffic");
         assert!(a.metrics.net_tuples >= a.rows.len() as u64, "{name}: QC rows under-counted");
+        // Per-operator parity: every measured phase must agree on its
+        // shape, row counts, and buffer/network activity across
+        // transports — the observability pipeline may not see different
+        // work just because tuples crossed a socket.
+        assert_eq!(a.metrics.phases.len(), b.metrics.phases.len(), "{name}: phase count");
+        for (pa, pb) in a.metrics.phases.iter().zip(&b.metrics.phases) {
+            assert_eq!(pa.name, pb.name, "{name}: phase name");
+            assert_eq!(pa.node_busy.len(), pb.node_busy.len(), "{name}/{}: nodes", pa.name);
+            assert_eq!(pa.node_rows, pb.node_rows, "{name}/{}: per-node rows", pa.name);
+            assert_eq!(pa.net.bytes, pb.net.bytes, "{name}/{}: phase net bytes", pa.name);
+            assert_eq!(pa.net.tuples, pb.net.tuples, "{name}/{}: phase net tuples", pa.name);
+            assert_eq!(
+                (pa.buffer.hits + pa.buffer.misses),
+                (pb.buffer.hits + pb.buffer.misses),
+                "{name}/{}: buffer requests",
+                pa.name
+            );
+        }
+        // Both registries expose the same logical traffic…
+        for key in ["net.bytes", "net.tuples", "net.pulls"] {
+            assert_eq!(
+                local.obs().get(key),
+                tcp.obs().get(key),
+                "{name}: registry {key} differs across transports"
+            );
+        }
     }
+    // …while only the TCP side saw wire-level frames.
+    assert!(local.obs().get("net.wire.bytes_sent").is_none(), "Local has no wire metrics");
+    assert!(tcp.obs().get("net.wire.bytes_sent").unwrap() > 0, "no bytes crossed sockets");
+    assert!(tcp.obs().get("net.wire.frames_sent").unwrap() > 0, "no frames crossed sockets");
 }
 
 fn test_tuple(i: i64) -> Tuple {
