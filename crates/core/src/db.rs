@@ -1,13 +1,16 @@
 //! The [`Paradise`] facade: cluster + catalog + query entry points.
 
+use crate::history::QueryHistory;
 use crate::Result;
 use paradise_exec::cluster::{Cluster, ClusterConfig, Transport};
 use paradise_exec::metrics::QueryMetrics;
 use paradise_exec::ops::aggregate::AggRegistry;
 use paradise_exec::{ExecError, TableDef, Tuple};
 use paradise_geom::{Point, Rect};
+use paradise_obs::{render_prometheus, MetricsExporter, MetricsRegistry, RenderFn};
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Which transport carries cross-node tuples and tile pulls.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -42,6 +45,18 @@ pub struct ParadiseConfig {
     /// Where `EXPLAIN ANALYZE` writes its Chrome-trace JSON profile
     /// (`None`: no trace file is produced).
     pub trace_path: Option<PathBuf>,
+    /// Listen address for the Prometheus metrics endpoint (`None`: no
+    /// exporter is started). Use `"127.0.0.1:0"` to pick a free port and
+    /// read it back with [`Paradise::metrics_addr`].
+    pub metrics_addr: Option<String>,
+    /// How many recent statements the query history retains.
+    pub history_capacity: usize,
+    /// Executions at least this slow are flagged in `paradise.queries`
+    /// and emitted as `slow_query` events (`None`: slow log disabled).
+    pub slow_query_threshold: Option<std::time::Duration>,
+    /// Where the structured JSONL event log is written (`None`: events
+    /// stay in the in-memory ring and the log starts disabled).
+    pub event_log_path: Option<PathBuf>,
 }
 
 impl ParadiseConfig {
@@ -58,6 +73,10 @@ impl ParadiseConfig {
             pull_cost: std::time::Duration::from_micros(5),
             transport: TransportKind::Local,
             trace_path: None,
+            metrics_addr: None,
+            history_capacity: 128,
+            slow_query_threshold: None,
+            event_log_path: None,
         }
     }
 
@@ -84,6 +103,52 @@ impl ParadiseConfig {
         self.trace_path = Some(path.into());
         self
     }
+
+    /// Starts a Prometheus `/metrics` endpoint on `addr` (e.g.
+    /// `"127.0.0.1:0"` for an ephemeral port).
+    pub fn with_metrics_addr(mut self, addr: impl Into<String>) -> Self {
+        self.metrics_addr = Some(addr.into());
+        self
+    }
+
+    /// Overrides how many recent statements the query history retains.
+    pub fn with_history_capacity(mut self, capacity: usize) -> Self {
+        self.history_capacity = capacity;
+        self
+    }
+
+    /// Enables the slow-query log for executions at least this slow.
+    pub fn with_slow_query_threshold(mut self, threshold: std::time::Duration) -> Self {
+        self.slow_query_threshold = Some(threshold);
+        self
+    }
+
+    /// Enables the structured event log and writes it (JSONL) to `path`.
+    pub fn with_event_log(mut self, path: impl Into<PathBuf>) -> Self {
+        self.event_log_path = Some(path.into());
+        self
+    }
+}
+
+/// Starts the Prometheus endpoint over the cluster's registries: one
+/// node-labelled sample group per data server plus the coordinator's
+/// (`node="qc"`). The render closure holds its own registry handles, so
+/// scrapes keep working for the exporter's whole lifetime.
+fn start_exporter(addr: &str, cluster: &Cluster) -> Result<MetricsExporter> {
+    let mut groups: Vec<(String, Arc<MetricsRegistry>)> = cluster
+        .nodes()
+        .iter()
+        .enumerate()
+        .map(|(i, node)| (i.to_string(), node.obs.clone()))
+        .collect();
+    groups.push(("qc".to_string(), cluster.obs().clone()));
+    let render: RenderFn = Arc::new(move || {
+        let sampled: Vec<(String, Vec<paradise_obs::MetricSample>)> =
+            groups.iter().map(|(label, reg)| (label.clone(), reg.samples())).collect();
+        render_prometheus(&sampled)
+    });
+    MetricsExporter::start(addr, render)
+        .map_err(|e| ExecError::Other(format!("metrics endpoint {addr}: {e}")))
 }
 
 /// A query answer: result rows plus the execution cost record.
@@ -100,10 +165,13 @@ pub struct QueryResult {
 /// The Paradise DBMS: a query coordinator over a simulated shared-nothing
 /// cluster (paper Figure 2.1).
 pub struct Paradise {
+    // Declared before `cluster` so the exporter thread shuts down first.
+    exporter: Option<MetricsExporter>,
     cluster: Cluster,
     tables: HashMap<String, TableDef>,
     /// Extensible aggregate catalog (§2.4).
     pub aggregates: AggRegistry,
+    history: QueryHistory,
     trace_path: Option<PathBuf>,
 }
 
@@ -121,15 +189,33 @@ impl Paradise {
             base_dir: cfg.base_dir,
             pull_cost: cfg.pull_cost,
         })?;
+        if let Some(path) = &cfg.event_log_path {
+            cluster
+                .events()
+                .attach_file(path)
+                .map_err(|e| ExecError::Other(format!("event log {}: {e}", path.display())))?;
+        }
         if cfg.transport == TransportKind::Tcp {
-            let t = paradise_net::TcpTransport::serve(cluster.nodes())?;
+            let net_cfg = paradise_net::NetConfig {
+                events: Some(cluster.events().clone()),
+                ..paradise_net::NetConfig::default()
+            };
+            let t = paradise_net::TcpTransport::serve_with(cluster.nodes(), net_cfg)?;
             t.register_metrics(cluster.obs());
             cluster.set_transport(Transport::Tcp(t));
         }
+        let exporter = match &cfg.metrics_addr {
+            Some(addr) => Some(start_exporter(addr, &cluster)?),
+            None => None,
+        };
+        let history = QueryHistory::new(cfg.history_capacity);
+        history.set_slow_threshold(cfg.slow_query_threshold);
         Ok(Paradise {
+            exporter,
             cluster,
             tables: HashMap::new(),
             aggregates: AggRegistry::with_builtins(),
+            history,
             trace_path: cfg.trace_path,
         })
     }
@@ -148,6 +234,17 @@ impl Paradise {
     /// Where `EXPLAIN ANALYZE` writes its Chrome-trace profile, if set.
     pub fn trace_path(&self) -> Option<&std::path::Path> {
         self.trace_path.as_deref()
+    }
+
+    /// The query-history ring backing `paradise.queries`.
+    pub fn history(&self) -> &QueryHistory {
+        &self.history
+    }
+
+    /// Bound address of the Prometheus endpoint, when one was configured
+    /// with [`ParadiseConfig::with_metrics_addr`].
+    pub fn metrics_addr(&self) -> Option<std::net::SocketAddr> {
+        self.exporter.as_ref().map(|e| e.addr())
     }
 
     /// Registers a table definition (DDL).

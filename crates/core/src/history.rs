@@ -1,0 +1,208 @@
+//! Query history: a bounded ring of recent statement executions plus the
+//! slow-query log.
+//!
+//! Every statement that goes through [`crate::db::Paradise::sql`] leaves a
+//! [`QueryRecord`] here — statement text, matched plan shape, outcome, row
+//! count and the cost summary — retained for the last
+//! [`QueryHistory::capacity`] statements. The ring backs the
+//! `paradise.queries` system table. Executions slower than the configured
+//! threshold are additionally flagged and emitted as structured
+//! `slow_query` events on the cluster's [`EventLog`].
+
+use paradise_exec::metrics::QueryMetrics;
+use paradise_obs::EventLog;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+fn lock_err<T>(e: std::sync::PoisonError<T>) -> T {
+    e.into_inner()
+}
+
+/// One completed (or failed) statement execution.
+#[derive(Debug, Clone)]
+pub struct QueryRecord {
+    /// Monotonically increasing statement id.
+    pub id: u64,
+    /// The statement text as submitted.
+    pub statement: String,
+    /// The matched plan shape ("Q2" … "Q14", "GenericScan",
+    /// "CatalogScan"), or "error" when planning failed.
+    pub shape: String,
+    /// "ok", or the error message.
+    pub status: String,
+    /// Result rows produced.
+    pub rows: u64,
+    /// Wall-clock execution time.
+    pub wall: Duration,
+    /// Simulated parallel time under the paper's cost model.
+    pub simulated: Duration,
+    /// Bytes shipped between nodes.
+    pub net_bytes: u64,
+    /// Whether the execution crossed the slow-query threshold.
+    pub slow: bool,
+}
+
+/// Bounded ring of the most recent [`QueryRecord`]s.
+pub struct QueryHistory {
+    inner: Mutex<VecDeque<QueryRecord>>,
+    capacity: usize,
+    next_id: AtomicU64,
+    /// Wall-time threshold in microseconds; 0 disables the slow log.
+    slow_threshold_us: AtomicU64,
+}
+
+impl QueryHistory {
+    /// An empty history retaining the last `capacity` statements.
+    pub fn new(capacity: usize) -> QueryHistory {
+        QueryHistory {
+            inner: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+            next_id: AtomicU64::new(1),
+            slow_threshold_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum number of retained records.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Sets the slow-query threshold (`None` disables the slow log).
+    pub fn set_slow_threshold(&self, threshold: Option<Duration>) {
+        let us = threshold.map(|d| (d.as_micros() as u64).max(1)).unwrap_or(0);
+        self.slow_threshold_us.store(us, Ordering::Relaxed);
+    }
+
+    /// The configured slow-query threshold, if any.
+    pub fn slow_threshold(&self) -> Option<Duration> {
+        match self.slow_threshold_us.load(Ordering::Relaxed) {
+            0 => None,
+            us => Some(Duration::from_micros(us)),
+        }
+    }
+
+    /// Records one execution; returns its id. Statements slower than the
+    /// threshold are flagged and reported to `events` as a `slow_query`
+    /// event carrying the statement text and the wall time.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record(
+        &self,
+        statement: &str,
+        shape: &str,
+        status: &str,
+        rows: u64,
+        wall: Duration,
+        metrics: &QueryMetrics,
+        events: &EventLog,
+    ) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let threshold = self.slow_threshold_us.load(Ordering::Relaxed);
+        let wall_us = wall.as_micros() as u64;
+        let slow = threshold > 0 && wall_us >= threshold;
+        if slow {
+            events.emit(
+                "slow_query",
+                &[
+                    ("id", id.into()),
+                    ("statement", statement.into()),
+                    ("shape", shape.into()),
+                    ("wall_us", wall_us.into()),
+                ],
+            );
+        }
+        let rec = QueryRecord {
+            id,
+            statement: statement.to_string(),
+            shape: shape.to_string(),
+            status: status.to_string(),
+            rows,
+            wall,
+            simulated: metrics.simulated_time(),
+            net_bytes: metrics.net_bytes,
+            slow,
+        };
+        let mut ring = self.inner.lock().unwrap_or_else(lock_err);
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(rec);
+        id
+    }
+
+    /// The retained records, oldest first.
+    pub fn records(&self) -> Vec<QueryRecord> {
+        self.inner.lock().unwrap_or_else(lock_err).iter().cloned().collect()
+    }
+
+    /// The retained records flagged slow, oldest first.
+    pub fn slow_queries(&self) -> Vec<QueryRecord> {
+        self.inner.lock().unwrap_or_else(lock_err).iter().filter(|r| r.slow).cloned().collect()
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap_or_else(lock_err).len()
+    }
+
+    /// True when no statement has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(h: &QueryHistory, stmt: &str, wall: Duration, events: &EventLog) -> u64 {
+        h.record(stmt, "GenericScan", "ok", 3, wall, &QueryMetrics::default(), events)
+    }
+
+    #[test]
+    fn ring_evicts_oldest_beyond_capacity() {
+        let h = QueryHistory::new(3);
+        let events = EventLog::new();
+        for i in 0..5 {
+            record(&h, &format!("select {i}"), Duration::from_micros(10), &events);
+        }
+        let recs = h.records();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0].statement, "select 2");
+        assert_eq!(recs[2].statement, "select 4");
+        // Ids keep counting across evictions.
+        assert_eq!(recs[2].id, 5);
+    }
+
+    #[test]
+    fn slow_threshold_flags_and_logs() {
+        let h = QueryHistory::new(8);
+        let events = EventLog::new();
+        events.set_enabled(true);
+        h.set_slow_threshold(Some(Duration::from_millis(50)));
+        record(&h, "select fast", Duration::from_millis(1), &events);
+        record(&h, "select slow", Duration::from_millis(80), &events);
+        let slow = h.slow_queries();
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].statement, "select slow");
+        // The fast statement produced no slow_query event; the slow one
+        // carried its text.
+        let logged = events.of_kind("slow_query");
+        assert_eq!(logged.len(), 1);
+        assert!(logged[0].line.contains("select slow"), "{}", logged[0].line);
+        assert!(!logged[0].line.contains("select fast"));
+    }
+
+    #[test]
+    fn threshold_can_be_cleared() {
+        let h = QueryHistory::new(4);
+        let events = EventLog::new();
+        h.set_slow_threshold(Some(Duration::from_micros(1)));
+        assert_eq!(h.slow_threshold(), Some(Duration::from_micros(1)));
+        h.set_slow_threshold(None);
+        assert_eq!(h.slow_threshold(), None);
+        record(&h, "select anything", Duration::from_secs(10), &events);
+        assert!(h.slow_queries().is_empty());
+    }
+}

@@ -28,17 +28,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod catalog;
 pub mod db;
+pub mod history;
 pub mod queries;
 pub mod sql_exec;
 
+pub use catalog::CatalogTable;
 pub use db::{Paradise, ParadiseConfig, QueryResult, TransportKind};
+pub use history::{QueryHistory, QueryRecord};
 pub use sql_exec::{execute_plan, match_plan, Plan, PlanLine};
 
 pub use paradise_array as array;
 pub use paradise_exec as exec;
 pub use paradise_geom as geom;
 pub use paradise_net as net;
+pub use paradise_obs as obs;
 pub use paradise_sql as sql;
 pub use paradise_storage as storage;
 

@@ -27,14 +27,47 @@ use paradise_geom::{Circle, Point, Polygon, Rect, Shape};
 use paradise_sql::ast::{BinOp, ExplainMode, Expr, Projection, SelectStmt};
 use paradise_sql::parse_statement;
 
-/// Parses and runs one SQL statement (optionally `EXPLAIN [ANALYZE]`).
+/// Parses and runs one SQL statement (optionally `EXPLAIN [ANALYZE]`),
+/// recording the execution (or its failure) in the query history.
 pub fn run_sql(db: &Paradise, text: &str) -> Result<QueryResult> {
-    let stmt = parse_statement(text).map_err(|e| ExecError::Other(e.to_string()))?;
-    let plan = match_plan(&stmt.select)?;
-    match stmt.explain {
-        ExplainMode::None => execute_plan(db, &plan),
-        ExplainMode::Plan => Ok(render_plan(&plan)),
-        ExplainMode::Analyze => explain_analyze(db, &plan),
+    let t0 = std::time::Instant::now();
+    let outcome: Result<(Plan, QueryResult)> = (|| {
+        let stmt = parse_statement(text).map_err(|e| ExecError::Other(e.to_string()))?;
+        let plan = match_plan(&stmt.select)?;
+        let result = match stmt.explain {
+            ExplainMode::None => execute_plan(db, &plan)?,
+            ExplainMode::Plan => render_plan(&plan),
+            ExplainMode::Analyze => explain_analyze(db, &plan)?,
+        };
+        Ok((plan, result))
+    })();
+    let history = db.history();
+    let events = db.cluster().events();
+    match outcome {
+        Ok((plan, result)) => {
+            history.record(
+                text,
+                plan.name(),
+                "ok",
+                result.rows.len() as u64,
+                t0.elapsed(),
+                &result.metrics,
+                events,
+            );
+            Ok(result)
+        }
+        Err(e) => {
+            history.record(
+                text,
+                "error",
+                &e.to_string(),
+                0,
+                t0.elapsed(),
+                &QueryMetrics::default(),
+                events,
+            );
+            Err(e)
+        }
     }
 }
 
@@ -305,11 +338,30 @@ pub enum Plan {
         /// The statement to evaluate row-at-a-time.
         stmt: SelectStmt,
     },
+    /// A `paradise.*` system-catalog read (metrics, query history,
+    /// buffer pools, streams).
+    Catalog {
+        /// Which system table.
+        table: crate::catalog::CatalogTable,
+        /// The statement (its WHERE/projection/ORDER BY apply to the
+        /// materialised catalog rows).
+        stmt: SelectStmt,
+    },
 }
 
 /// Recognises the statement's benchmark shape and binds its parameters.
 pub fn match_plan(stmt: &SelectStmt) -> Result<Plan> {
     let tables: Vec<String> = stmt.tables.iter().map(|t| t.to_ascii_lowercase()).collect();
+
+    // --- system catalog -------------------------------------------------
+    if let [name] = tables.as_slice() {
+        if name.starts_with("paradise.") {
+            let table = crate::catalog::CatalogTable::from_name(name)
+                .ok_or_else(|| err(format!("unknown system table {name}")))?;
+            return Ok(Plan::Catalog { table, stmt: stmt.clone() });
+        }
+    }
+
     let only = |name: &str| tables.len() == 1 && tables[0] == name;
     let pair = |a: &str, b: &str| {
         tables.len() == 2 && tables.contains(&a.to_string()) && tables.contains(&b.to_string())
@@ -455,6 +507,7 @@ pub fn execute_plan(db: &Paradise, plan: &Plan) -> Result<QueryResult> {
         Plan::Q13 => queries::q13(db),
         Plan::Q14 { lo, hi, channel, oil_type } => queries::q14(db, *lo, *hi, *channel, *oil_type),
         Plan::GenericScan { stmt } => generic_scan(db, stmt),
+        Plan::Catalog { table, stmt } => catalog_scan(db, *table, stmt),
     }
 }
 
@@ -492,6 +545,7 @@ impl Plan {
             Plan::Q13 => "Q13",
             Plan::Q14 { .. } => "Q14",
             Plan::GenericScan { .. } => "GenericScan",
+            Plan::Catalog { .. } => "CatalogScan",
         }
     }
 
@@ -609,6 +663,19 @@ impl Plan {
                 let base = v.len() - 1;
                 v.push(op(base + 1, "Filter + Project", Some("scan + filter + project")));
                 v.push(op(base + 2, format!("SeqScan {}", stmt.tables[0]), None));
+                v
+            }
+            Plan::Catalog { table, .. } => {
+                let mut v = vec![op(0, "Filter + Project  (QC)", None)];
+                if table.is_per_node() {
+                    v.push(op(
+                        1,
+                        format!("CatalogScan {} [stats pull per node]", table.name()),
+                        Some("catalog scan"),
+                    ));
+                } else {
+                    v.push(op(1, format!("CatalogScan {}  (QC, sequential)", table.name()), None));
+                }
                 v
             }
         }
@@ -875,6 +942,12 @@ fn eval_predicate(e: &Expr, t: &Tuple, schema: &paradise_exec::Schema) -> Result
                     (Value::Shape(a), Value::Shape(b)) => Ok(a.overlaps(&b)),
                     _ => Err(err("overlaps needs two shapes")),
                 },
+                BinOp::Like => match (l, r) {
+                    (Value::Str(text), Value::Str(pattern)) => Ok(like_match(&pattern, &text)),
+                    (l, r) => {
+                        Err(err(format!("like needs strings, got {} / {}", l.kind(), r.kind())))
+                    }
+                },
                 BinOp::Lt if matches!(l, Value::Shape(_)) => match (l, r) {
                     // Circle containment (Q7 syntax).
                     (Value::Shape(Shape::Polygon(p)), Value::Shape(Shape::Circle(c))) => {
@@ -893,13 +966,95 @@ fn eval_predicate(e: &Expr, t: &Tuple, schema: &paradise_exec::Schema) -> Result
                         BinOp::Le => ord != std::cmp::Ordering::Greater,
                         BinOp::Gt => ord == std::cmp::Ordering::Greater,
                         BinOp::Ge => ord != std::cmp::Ordering::Less,
-                        BinOp::Overlaps | BinOp::And => unreachable!(),
+                        BinOp::Overlaps | BinOp::And | BinOp::Like => unreachable!(),
                     })
                 }
             }
         }
         other => Err(err(format!("expected a predicate, found {other:?}"))),
     }
+}
+
+/// SQL LIKE: `%` matches any run (including empty), `_` any one
+/// character; everything else matches literally (case-sensitive).
+fn like_match(pattern: &str, text: &str) -> bool {
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = text.chars().collect();
+    // matched[j]: does some prefix-to-date of the pattern match t[..j]?
+    let mut matched = vec![false; t.len() + 1];
+    matched[0] = true;
+    for pc in &p {
+        match pc {
+            '%' => {
+                // A run of anything: once a prefix matches, every longer
+                // prefix does too.
+                for j in 1..=t.len() {
+                    matched[j] = matched[j] || matched[j - 1];
+                }
+            }
+            '_' => {
+                for j in (1..=t.len()).rev() {
+                    matched[j] = matched[j - 1];
+                }
+                matched[0] = false;
+            }
+            c => {
+                for j in (1..=t.len()).rev() {
+                    matched[j] = matched[j - 1] && t[j - 1] == *c;
+                }
+                matched[0] = false;
+            }
+        }
+    }
+    matched[t.len()]
+}
+
+/// Materialises a `paradise.*` table, then applies the statement's
+/// WHERE / projection / ORDER BY with the row-at-a-time evaluator — so
+/// `where name like 'wal%'` composes with the catalog exactly as with a
+/// stored table.
+fn catalog_scan(
+    db: &Paradise,
+    table: crate::catalog::CatalogTable,
+    stmt: &SelectStmt,
+) -> Result<QueryResult> {
+    let t0 = std::time::Instant::now();
+    let schema = table.schema();
+    let mut m = QueryMetrics::default();
+    let all = crate::catalog::scan(db, table, &mut m)?;
+    let mut rows = Vec::new();
+    for t in all {
+        let keep = match &stmt.where_clause {
+            Some(w) => eval_predicate(w, &t, &schema)?,
+            None => true,
+        };
+        if !keep {
+            continue;
+        }
+        rows.push(match &stmt.projection {
+            Projection::Star => t,
+            Projection::Exprs(exprs) => {
+                let vals: Vec<Value> =
+                    exprs.iter().map(|e| eval_expr(e, &t, &schema)).collect::<Result<_>>()?;
+                Tuple::new(vals)
+            }
+        });
+    }
+    if let Some(order) = &stmt.order_by {
+        let idx = schema.index_of(order)?;
+        let col = if matches!(stmt.projection, Projection::Star) { idx } else { 0 };
+        rows = paradise_exec::ops::basic::sort_by_col(rows, col)?;
+    }
+    let columns = match &stmt.projection {
+        Projection::Star => schema.fields().iter().map(|f| f.name.clone()).collect(),
+        Projection::Exprs(exprs) => exprs
+            .iter()
+            .enumerate()
+            .map(|(i, e)| column_name(e).map(str::to_string).unwrap_or(format!("col{i}")))
+            .collect(),
+    };
+    m.wall = t0.elapsed();
+    Ok(QueryResult { columns, rows, metrics: m })
 }
 
 fn compare_values(l: &Value, r: &Value) -> Result<std::cmp::Ordering> {
@@ -1027,6 +1182,34 @@ mod tests {
             Greater
         );
         assert!(compare_values(&Value::Int(1), &Value::Str("x".into())).is_err());
+    }
+
+    #[test]
+    fn like_match_globs() {
+        assert!(like_match("wal%", "wal.commits"));
+        assert!(like_match("%commits", "wal.commits"));
+        assert!(like_match("%al.c%", "wal.commits"));
+        assert!(like_match("wal.commit_", "wal.commits"));
+        assert!(like_match("%", ""));
+        assert!(like_match("", ""));
+        assert!(!like_match("wal%", "buffer.hits"));
+        assert!(!like_match("_", ""));
+        assert!(!like_match("wal.commit_", "wal.commit"));
+        assert!(!like_match("WAL%", "wal.commits"), "LIKE is case-sensitive");
+    }
+
+    #[test]
+    fn catalog_tables_match_to_catalog_plans() {
+        let s = parse("select * from paradise.metrics where name like 'wal%'");
+        let plan = match_plan(&s).unwrap();
+        assert_eq!(plan.name(), "CatalogScan");
+        assert!(matches!(plan, Plan::Catalog { table: crate::catalog::CatalogTable::Metrics, .. }));
+        assert!(match_plan(&parse("select * from paradise.nope")).is_err());
+        // Non-catalog dotted-ish names still take the generic path.
+        assert!(matches!(
+            match_plan(&parse("select * from roads")).unwrap(),
+            Plan::GenericScan { .. }
+        ));
     }
 
     #[test]

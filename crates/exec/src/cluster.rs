@@ -15,7 +15,7 @@ use crate::tuple::Tuple;
 use crate::value::TileRef;
 use crate::{ExecError, Result};
 use paradise_geom::{Grid, Point, Rect, TileId};
-use paradise_obs::{Counter, MetricsRegistry, TraceSink};
+use paradise_obs::{Counter, EventLog, MetricSample, MetricsRegistry, TraceSink};
 use paradise_storage::{BufferStats, Store};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -43,6 +43,10 @@ pub trait WireTransport: Send + Sync {
     /// Fetches the raw stored bytes of a tile object living on
     /// `tile.node`, on behalf of `requester` (§2.5.2 pull).
     fn fetch_tile(&self, requester: NodeId, tile: &TileRef) -> Result<Vec<u8>>;
+
+    /// Pulls a snapshot of `node`'s metrics registry over the wire
+    /// (`StatsPull`/`StatsReply`) — the monitoring plane's per-node view.
+    fn pull_stats(&self, node: NodeId) -> Result<Vec<MetricSample>>;
 
     /// Stops servers and closes connections. Idempotent.
     fn shutdown(&self);
@@ -172,6 +176,11 @@ pub struct Node {
     pub id: NodeId,
     /// The node's private storage manager.
     pub store: Arc<Store>,
+    /// The node's own metrics registry (unprefixed names — `buffer.hits`,
+    /// `wal.commits`, …). Over a wire transport this is what the node's
+    /// data server serves to `StatsPull`; the QC labels each snapshot
+    /// with `node=<id>` when aggregating.
+    pub obs: Arc<MetricsRegistry>,
 }
 
 /// A simulated cluster: the query coordinator's view of all nodes.
@@ -188,6 +197,9 @@ pub struct Cluster {
     /// Span sink for per-node/per-operator tracing (disabled by default;
     /// `EXPLAIN ANALYZE` enables it for one query).
     trace: Arc<TraceSink>,
+    /// Structured JSONL event log (slow queries, stalls, retries, phase
+    /// starts). Disabled by default.
+    events: Arc<EventLog>,
     streams_opened: Counter,
 }
 
@@ -200,7 +212,9 @@ impl Cluster {
         for id in 0..cfg.nodes {
             let base = cfg.base_dir.join(format!("node{id}"));
             let store = Arc::new(Store::create(&base, cfg.pool_pages)?);
-            nodes.push(Arc::new(Node { id, store }));
+            let obs = Arc::new(MetricsRegistry::new());
+            register_node_metrics(&obs, &store);
+            nodes.push(Arc::new(Node { id, store, obs }));
         }
         let grid = Grid::with_tile_count(cfg.universe, cfg.grid_tiles).map_err(ExecError::Geom)?;
         let net = Arc::new(NetStats::default());
@@ -221,6 +235,7 @@ impl Cluster {
             transport: Transport::Local,
             obs,
             trace,
+            events: Arc::new(EventLog::new()),
             streams_opened,
         })
     }
@@ -234,6 +249,40 @@ impl Cluster {
     /// [`Cluster::coordinator_id`] is the QC.
     pub fn trace(&self) -> &Arc<TraceSink> {
         &self.trace
+    }
+
+    /// The cluster-wide structured event log (disabled by default).
+    pub fn events(&self) -> &Arc<EventLog> {
+        &self.events
+    }
+
+    /// Snapshot of one node's own registry. Over a `Tcp` transport the
+    /// samples are pulled over the wire from the node's data server
+    /// (`StatsPull`/`StatsReply`); over `Local` they are read directly.
+    pub fn node_samples(&self, id: NodeId) -> Result<Vec<MetricSample>> {
+        let node = self
+            .nodes
+            .get(id)
+            .ok_or_else(|| ExecError::Other(format!("no node {id} in this cluster")))?;
+        match &self.transport {
+            Transport::Tcp(t) => t.pull_stats(id),
+            Transport::Local => Ok(node.obs.samples()),
+        }
+    }
+
+    /// Node-labelled snapshots of the whole monitoring plane: one group
+    /// per data server (labelled `"0"`, `"1"`, …) plus the QC's own
+    /// cluster-level registry (labelled `"qc"`). Wire pulls that fail
+    /// (e.g. during shutdown) degrade to a direct in-process read — the
+    /// nodes share our address space, so the data is always reachable.
+    pub fn all_samples(&self) -> Vec<(String, Vec<MetricSample>)> {
+        let mut groups = Vec::with_capacity(self.nodes.len() + 1);
+        for node in &self.nodes {
+            let samples = self.node_samples(node.id).unwrap_or_else(|_| node.obs.samples());
+            groups.push((node.id.to_string(), samples));
+        }
+        groups.push(("qc".to_string(), self.obs.samples()));
+        groups
     }
 
     /// Summed buffer-pool statistics across every node's pool (each pool
@@ -420,9 +469,45 @@ impl Drop for Cluster {
     }
 }
 
-/// Publishes the pre-existing per-node storage atomics (buffer pool, WAL)
-/// and the cluster-wide [`NetStats`] into the registry as lazy collectors —
-/// the hot paths keep their own counters and pay nothing extra.
+/// Publishes one node's pre-existing storage atomics (buffer pool, WAL)
+/// into the node's *own* registry under unprefixed names — this is the
+/// snapshot that travels over the wire in a `StatsReply`; the QC attaches
+/// the `node=<id>` label when it aggregates.
+fn register_node_metrics(obs: &MetricsRegistry, store: &Arc<Store>) {
+    macro_rules! pool_stat {
+        ($field:ident) => {{
+            let store = store.clone();
+            obs.register_collector(&format!("buffer.{}", stringify!($field)), move || {
+                store.pool().stats().$field
+            });
+        }};
+    }
+    pool_stat!(hits);
+    pool_stat!(misses);
+    pool_stat!(writebacks);
+    pool_stat!(evictions);
+    macro_rules! wal_stat {
+        ($field:ident) => {{
+            let store = store.clone();
+            obs.register_collector(&format!("wal.{}", stringify!($field)), move || {
+                store.wal_stats().$field
+            });
+        }};
+    }
+    wal_stat!(commits);
+    wal_stat!(pages);
+    wal_stat!(bytes);
+    // The live cached-frame level, tracked with gauge deltas inside the
+    // pool (no recompute-and-set race), plus the static capacity.
+    obs.register_gauge("buffer.frames_cached", store.pool().frames_gauge());
+    let capacity = store.pool().capacity() as u64;
+    obs.register_collector("buffer.capacity", move || capacity);
+}
+
+/// Publishes the per-node storage atomics (prefixed `node<i>.*`, for the
+/// QC-side aggregate view and `EXPLAIN ANALYZE`) and the cluster-wide
+/// [`NetStats`] into the cluster registry as lazy collectors — the hot
+/// paths keep their own counters and pay nothing extra.
 fn register_cluster_metrics(obs: &MetricsRegistry, nodes: &[Arc<Node>], net: &Arc<NetStats>) {
     for node in nodes {
         let id = node.id;
@@ -533,6 +618,31 @@ mod tests {
         let before = snap["exec.streams_opened"];
         let _ = cluster.stream(4, 0, 1).unwrap();
         assert_eq!(cluster.obs().get("exec.streams_opened"), Some(before + 1));
+    }
+
+    #[test]
+    fn per_node_registries_carry_unprefixed_storage_metrics() {
+        let cluster = Cluster::create(&ClusterConfig::for_test(2, "nodeobs")).unwrap();
+        let f = cluster.node(0).store.create_file("t").unwrap();
+        f.insert(b"x").unwrap();
+        cluster.node(0).store.commit().unwrap();
+        let n0 = cluster.node(0).obs.snapshot();
+        assert!(n0.contains_key("buffer.hits"), "keys: {:?}", n0.keys());
+        assert!(n0.contains_key("buffer.frames_cached"));
+        assert!(n0["buffer.capacity"] > 0);
+        assert!(n0["wal.commits"] >= 1, "{n0:?}");
+        // Node 1 saw none of that traffic (only the shared setup commits).
+        let n1_commits = cluster.node(1).obs.get("wal.commits").unwrap();
+        assert!(n0["wal.commits"] > n1_commits, "{n0:?} vs {n1_commits}");
+        // Local transport: node_samples reads the registry directly.
+        let samples = cluster.node_samples(0).unwrap();
+        assert!(samples.iter().any(|s| s.name == "wal.commits" && s.value >= 1));
+        assert!(cluster.node_samples(7).is_err());
+        // all_samples groups every node plus the QC registry.
+        let groups = cluster.all_samples();
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[2].0, "qc");
+        assert!(groups[2].1.iter().any(|s| s.name == "net.bytes"));
     }
 
     #[test]

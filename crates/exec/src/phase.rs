@@ -55,6 +55,7 @@ pub fn run_phase<O: RowCounted>(
     name: &str,
     mut work: impl FnMut(NodeId) -> Result<O>,
 ) -> Result<Vec<O>> {
+    cluster.events().emit("phase.start", &[("phase", name.into())]);
     let net0 = cluster.net.snapshot();
     let buf0 = cluster.buffer_stats_total();
     let mut busy = Vec::with_capacity(cluster.num_nodes());

@@ -2,7 +2,9 @@
 //! backoff, and socket defaults shared by every QC/DS connection.
 
 use paradise_exec::{ExecError, Result};
+use paradise_obs::EventLog;
 use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Tunables for every connection the transport makes.
@@ -22,6 +24,9 @@ pub struct NetConfig {
     /// Backoff before retry `n` is `base_backoff << n`, so the default
     /// schedule is 25 ms, 50 ms, 100 ms, 200 ms.
     pub base_backoff: Duration,
+    /// Structured event log for connection retries and flow-control
+    /// stalls (`None` → not logged).
+    pub events: Option<Arc<EventLog>>,
 }
 
 impl Default for NetConfig {
@@ -32,6 +37,7 @@ impl Default for NetConfig {
             send_timeout: Duration::from_secs(5),
             max_retries: 4,
             base_backoff: Duration::from_millis(25),
+            events: None,
         }
     }
 }
@@ -46,6 +52,7 @@ impl NetConfig {
             send_timeout: Duration::from_millis(300),
             max_retries: 2,
             base_backoff: Duration::from_millis(10),
+            events: None,
         }
     }
 }
@@ -68,6 +75,12 @@ pub fn connect_with_retry(addr: SocketAddr, cfg: &NetConfig) -> Result<TcpStream
     let mut last_err = None;
     for attempt in 0..=cfg.max_retries {
         if attempt > 0 {
+            if let Some(events) = &cfg.events {
+                events.emit(
+                    "net.retry",
+                    &[("addr", addr.to_string().into()), ("attempt", u64::from(attempt).into())],
+                );
+            }
             std::thread::sleep(cfg.base_backoff * (1 << (attempt - 1)));
         }
         match TcpStream::connect_timeout(&addr, cfg.connect_timeout) {

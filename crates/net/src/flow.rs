@@ -14,9 +14,10 @@
 
 use crate::frame::{write_frame, Frame};
 use paradise_exec::{ExecError, Result, Tuple};
+use paradise_obs::EventLog;
 use std::collections::VecDeque;
 use std::net::TcpStream;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 fn lock_err<T>(e: std::sync::PoisonError<T>) -> T {
@@ -33,6 +34,7 @@ struct GateState {
 pub struct CreditGate {
     state: Mutex<GateState>,
     cv: Condvar,
+    events: Option<Arc<EventLog>>,
 }
 
 impl CreditGate {
@@ -41,7 +43,13 @@ impl CreditGate {
         CreditGate {
             state: Mutex::new(GateState { credits: initial, closed: None }),
             cv: Condvar::new(),
+            events: None,
         }
+    }
+
+    /// A gate that reports flow-control stalls to `events`.
+    pub fn with_events(initial: u64, events: Option<Arc<EventLog>>) -> CreditGate {
+        CreditGate { events, ..CreditGate::new(initial) }
     }
 
     /// Takes one credit, waiting up to `timeout` for the receiver.
@@ -58,6 +66,10 @@ impl CreditGate {
             }
             let now = Instant::now();
             if now >= deadline {
+                if let Some(events) = &self.events {
+                    events
+                        .emit("flow.stall", &[("timeout_ms", (timeout.as_millis() as u64).into())]);
+                }
                 return Err(ExecError::Other(
                     "flow-control timeout: receiver granted no credit (stalled or dead peer)"
                         .into(),

@@ -14,6 +14,8 @@
 //! attributes (stored rasters) by reference — the mapping table crosses
 //! the wire, the pixels do not (§2.5.2).
 
+use paradise_obs::{MetricSample, SampleKind};
+
 use paradise_exec::{ExecError, Result};
 use std::io::{Read, Write};
 
@@ -55,6 +57,11 @@ pub enum Frame {
     },
     /// Request failed on the serving side.
     Error(String),
+    /// QC → DS: send back a snapshot of this node's metrics registry
+    /// (the monitoring plane's stats-pull, DESIGN §8.5).
+    StatsPull,
+    /// DS → QC: the node's registry snapshot as flattened samples.
+    StatsReply(Vec<MetricSample>),
 }
 
 const TAG_OPEN: u8 = 1;
@@ -65,6 +72,62 @@ const TAG_PULL: u8 = 5;
 const TAG_TILE: u8 = 6;
 const TAG_SCAN: u8 = 7;
 const TAG_ERROR: u8 = 8;
+const TAG_STATS_PULL: u8 = 9;
+const TAG_STATS_REPLY: u8 = 10;
+
+const KIND_COUNTER: u8 = 0;
+const KIND_GAUGE: u8 = 1;
+
+/// Serialises a sample list: `count: u32 LE`, then per sample
+/// `kind: u8 | name_len: u16 LE | name | value: u64 LE`.
+fn encode_samples(samples: &[MetricSample], out: &mut Vec<u8>) {
+    out.extend_from_slice(&(samples.len() as u32).to_le_bytes());
+    for s in samples {
+        out.push(match s.kind {
+            SampleKind::Counter => KIND_COUNTER,
+            SampleKind::Gauge => KIND_GAUGE,
+        });
+        let name = s.name.as_bytes();
+        let len = name.len().min(u16::MAX as usize);
+        out.extend_from_slice(&(len as u16).to_le_bytes());
+        out.extend_from_slice(&name[..len]);
+        out.extend_from_slice(&s.value.to_le_bytes());
+    }
+}
+
+/// Parses a sample list written by [`encode_samples`].
+fn decode_samples(mut payload: &[u8]) -> Result<Vec<MetricSample>> {
+    let bad = || ExecError::Codec("bad StatsReply payload");
+    if payload.len() < 4 {
+        return Err(bad());
+    }
+    let count = u32::from_le_bytes(payload[0..4].try_into().unwrap()) as usize;
+    payload = &payload[4..];
+    let mut out = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        if payload.len() < 3 {
+            return Err(bad());
+        }
+        let kind = match payload[0] {
+            KIND_COUNTER => SampleKind::Counter,
+            KIND_GAUGE => SampleKind::Gauge,
+            _ => return Err(bad()),
+        };
+        let name_len = u16::from_le_bytes(payload[1..3].try_into().unwrap()) as usize;
+        payload = &payload[3..];
+        if payload.len() < name_len + 8 {
+            return Err(bad());
+        }
+        let name = String::from_utf8(payload[..name_len].to_vec()).map_err(|_| bad())?;
+        let value = u64::from_le_bytes(payload[name_len..name_len + 8].try_into().unwrap());
+        payload = &payload[name_len + 8..];
+        out.push(MetricSample { name, kind, value });
+    }
+    if !payload.is_empty() {
+        return Err(bad());
+    }
+    Ok(out)
+}
 
 fn io_err(ctx: &str, e: std::io::Error) -> ExecError {
     ExecError::Other(format!("net {ctx}: {e}"))
@@ -107,6 +170,11 @@ impl Frame {
             Frame::Error(msg) => {
                 body.push(TAG_ERROR);
                 body.extend_from_slice(msg.as_bytes());
+            }
+            Frame::StatsPull => body.push(TAG_STATS_PULL),
+            Frame::StatsReply(samples) => {
+                body.push(TAG_STATS_REPLY);
+                encode_samples(samples, &mut body);
             }
         }
         let mut out = Vec::with_capacity(4 + body.len());
@@ -153,6 +221,13 @@ impl Frame {
                 }
             }
             TAG_ERROR => Frame::Error(String::from_utf8_lossy(payload).into_owned()),
+            TAG_STATS_PULL => {
+                if !payload.is_empty() {
+                    return Err(ExecError::Codec("bad StatsPull payload"));
+                }
+                Frame::StatsPull
+            }
+            TAG_STATS_REPLY => Frame::StatsReply(decode_samples(payload)?),
             _ => return Err(ExecError::Codec("unknown frame tag")),
         })
     }
@@ -264,6 +339,37 @@ mod tests {
         roundtrip(Frame::TileData(vec![0; 4096]));
         roundtrip(Frame::Scan { file: "__frag_roads".into(), window: 64 });
         roundtrip(Frame::Error("tile file missing".into()));
+        roundtrip(Frame::StatsPull);
+        roundtrip(Frame::StatsReply(Vec::new()));
+        roundtrip(Frame::StatsReply(vec![
+            MetricSample::new("wal.commits", SampleKind::Counter, 42),
+            MetricSample::new("buffer.frames_cached", SampleKind::Gauge, 7),
+            MetricSample::new("", SampleKind::Counter, u64::MAX),
+        ]));
+    }
+
+    #[test]
+    fn stats_frames_reject_malformed_payloads() {
+        // StatsPull carries no payload.
+        assert!(Frame::from_body(&[TAG_STATS_PULL, 0]).is_err());
+        // Truncated count header.
+        assert!(Frame::from_body(&[TAG_STATS_REPLY, 1, 0]).is_err());
+        // Count says one sample, body empty.
+        let mut body = vec![TAG_STATS_REPLY];
+        body.extend_from_slice(&1u32.to_le_bytes());
+        assert!(Frame::from_body(&body).is_err());
+        // Unknown sample kind.
+        let mut body = vec![TAG_STATS_REPLY];
+        body.extend_from_slice(&1u32.to_le_bytes());
+        body.push(9); // bad kind
+        body.extend_from_slice(&0u16.to_le_bytes());
+        body.extend_from_slice(&0u64.to_le_bytes());
+        assert!(Frame::from_body(&body).is_err());
+        // Trailing junk after the declared samples.
+        let mut ok =
+            Frame::StatsReply(vec![MetricSample::new("x", SampleKind::Counter, 1)]).to_bytes();
+        ok.push(0xFF);
+        assert!(Frame::from_body(&ok[4..]).is_err());
     }
 
     #[test]

@@ -18,6 +18,7 @@ use crate::flow::{CreditGate, Inbox};
 use crate::frame::{read_frame, write_frame, Frame, ReadOutcome};
 use paradise_exec::raster_store::TILE_FILE;
 use paradise_exec::{ExecError, Result, Tuple};
+use paradise_obs::MetricsRegistry;
 use paradise_storage::{Oid, Store};
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -59,11 +60,14 @@ pub struct DataServer {
 
 impl DataServer {
     /// Binds a loopback listener and starts the accept loop. `store` is
-    /// `None` for the QC endpoint (it receives streams but owns no data).
+    /// `None` for the QC endpoint (it receives streams but owns no data);
+    /// `obs` is the node's metrics registry, answered to `StatsPull`
+    /// requests (`None` → stats pulls report an error).
     pub fn start(
         store: Option<Arc<Store>>,
         registry: Arc<Registry>,
         cfg: NetConfig,
+        obs: Option<Arc<MetricsRegistry>>,
     ) -> Result<DataServer> {
         let listener = TcpListener::bind("127.0.0.1:0")
             .map_err(|e| ExecError::Other(format!("net bind: {e}")))?;
@@ -79,7 +83,8 @@ impl DataServer {
                         let registry = registry.clone();
                         let cfg = cfg.clone();
                         let shut = shut2.clone();
-                        std::thread::spawn(move || handle(conn, store, registry, cfg, shut));
+                        let obs = obs.clone();
+                        std::thread::spawn(move || handle(conn, store, registry, cfg, obs, shut));
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(Duration::from_millis(2));
@@ -117,6 +122,7 @@ fn handle(
     store: Option<Arc<Store>>,
     registry: Arc<Registry>,
     cfg: NetConfig,
+    obs: Option<Arc<MetricsRegistry>>,
     shut: Arc<AtomicBool>,
 ) {
     let _ = conn.set_read_timeout(Some(cfg.read_timeout));
@@ -137,6 +143,17 @@ fn handle(
             Ok(ReadOutcome::Frame(Frame::Scan { file, window })) => {
                 serve_scan(conn, store.as_deref(), &cfg, &file, window);
                 return;
+            }
+            Ok(ReadOutcome::Frame(Frame::StatsPull)) => {
+                // Stats connections are pooled like pull connections: one
+                // socket can interleave tile pulls and stats pulls.
+                let reply = match &obs {
+                    Some(reg) => Frame::StatsReply(reg.samples()),
+                    None => Frame::Error("no metrics registry on this endpoint".into()),
+                };
+                if write_frame(&mut conn, &reply).is_err() {
+                    return;
+                }
             }
             Ok(ReadOutcome::Frame(_)) => {
                 let _ = write_frame(&mut conn, &Frame::Error("unexpected frame".into()));
@@ -244,7 +261,7 @@ fn serve_scan(
         let _ = write_frame(&mut conn, &Frame::Error(format!("no fragment file {file:?}")));
         return;
     };
-    let gate = Arc::new(CreditGate::new(u64::from(window)));
+    let gate = Arc::new(CreditGate::with_events(u64::from(window), cfg.events.clone()));
     // Reverse direction: the client returns credits as it consumes.
     let Ok(mut back) = conn.try_clone() else {
         let _ = write_frame(&mut conn, &Frame::Error("credit channel failed".into()));

@@ -13,6 +13,7 @@ use crate::server::{DataServer, Registry};
 use paradise_exec::cluster::Node;
 use paradise_exec::value::TileRef;
 use paradise_exec::{ExecError, NodeId, RemoteRx, RemoteTx, Result, Tuple, WireTransport};
+use paradise_obs::MetricSample;
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -181,10 +182,12 @@ impl TcpTransport {
                 Some(node.store.clone()),
                 registry.clone(),
                 cfg.clone(),
+                Some(node.obs.clone()),
             )?);
         }
-        // The QC endpoint: receives result streams, owns no data.
-        servers.push(DataServer::start(None, registry.clone(), cfg.clone())?);
+        // The QC endpoint: receives result streams, owns no data and
+        // serves no per-node stats (the QC reads its registry in-process).
+        servers.push(DataServer::start(None, registry.clone(), cfg.clone(), None)?);
         let addrs = servers.iter().map(|s| s.addr()).collect();
         Ok(Arc::new(TcpTransport {
             cfg,
@@ -291,7 +294,7 @@ impl WireTransport for TcpTransport {
         )?;
         self.stats.bytes_sent.fetch_add(n as u64, Ordering::Relaxed);
         self.stats.frames_sent.fetch_add(1, Ordering::Relaxed);
-        let gate = Arc::new(CreditGate::new(window as u64));
+        let gate = Arc::new(CreditGate::with_events(window as u64, self.cfg.events.clone()));
         // Credit reader: the receiver's pops come back on this socket.
         let gate2 = gate.clone();
         let mut credit_side = opener;
@@ -356,6 +359,48 @@ impl WireTransport for TcpTransport {
                 }
                 ReadOutcome::Closed => {
                     return Err(ExecError::Other("server closed pull connection".into()))
+                }
+            }
+        }
+    }
+
+    fn pull_stats(&self, node: NodeId) -> Result<Vec<MetricSample>> {
+        self.ensure_up()?;
+        if node >= self.addrs.len().saturating_sub(1) {
+            return Err(ExecError::Other(format!("no data server {node} in this cluster")));
+        }
+        // Stats pulls share the pooled pull connections: the server's
+        // dispatch loop answers PullTile and StatsPull interleaved.
+        let mut conn = self.pooled_pull_conn(node)?;
+        let n = write_frame(&mut conn, &Frame::StatsPull)?;
+        self.stats.bytes_sent.fetch_add(n as u64, Ordering::Relaxed);
+        self.stats.frames_sent.fetch_add(1, Ordering::Relaxed);
+        let mut idles = 0;
+        loop {
+            match read_frame(&mut conn)? {
+                ReadOutcome::Frame(Frame::StatsReply(samples)) => {
+                    self.pull_pool
+                        .lock()
+                        .unwrap_or_else(lock_err)
+                        .entry(node)
+                        .or_default()
+                        .push(conn);
+                    return Ok(samples);
+                }
+                ReadOutcome::Frame(Frame::Error(msg)) => {
+                    return Err(ExecError::Other(format!("remote stats pull failed: {msg}")))
+                }
+                ReadOutcome::Frame(_) => {
+                    return Err(ExecError::Other("unexpected frame in stats reply".into()))
+                }
+                ReadOutcome::Idle => {
+                    idles += 1;
+                    if idles > 100 {
+                        return Err(ExecError::Other("stats pull timed out".into()));
+                    }
+                }
+                ReadOutcome::Closed => {
+                    return Err(ExecError::Other("server closed stats connection".into()))
                 }
             }
         }

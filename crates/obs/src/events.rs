@@ -1,0 +1,233 @@
+//! Structured operational events as JSON-lines (the "slow-query log").
+//!
+//! An [`EventLog`] is the low-volume sibling of the trace sink: instead of
+//! µs-granular spans it records *notable occurrences* — slow queries,
+//! flow-control stalls, connection retries, scheduler phase starts — each
+//! as one JSON object per line. Events go to a bounded in-memory ring
+//! (always, for `paradise.*` catalog queries and tests) and optionally to
+//! an append-only JSONL file attached with [`EventLog::attach_file`].
+//!
+//! Like [`crate::trace::TraceSink`], the log starts **disabled**: a
+//! disabled log makes [`EventLog::emit`] a single relaxed atomic load, so
+//! the emit sites in the network and scheduler hot paths stay compiled-in
+//! everywhere.
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Maximum events retained in memory; older events are dropped.
+const RING_CAPACITY: usize = 256;
+
+/// Value of one event field: numbers render bare, strings are escaped.
+#[derive(Clone, Debug)]
+pub enum EventValue {
+    /// Unsigned number (durations in µs, attempt counts, byte counts).
+    U64(u64),
+    /// Free-form text (statement text, peer addresses, phase names).
+    Str(String),
+}
+
+impl From<u64> for EventValue {
+    fn from(v: u64) -> Self {
+        EventValue::U64(v)
+    }
+}
+
+impl From<&str> for EventValue {
+    fn from(v: &str) -> Self {
+        EventValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for EventValue {
+    fn from(v: String) -> Self {
+        EventValue::Str(v)
+    }
+}
+
+/// One recorded event: its kind plus the rendered JSON line.
+#[derive(Clone, Debug)]
+pub struct EventRecord {
+    /// Event kind (`"slow_query"`, `"flow.stall"`, `"net.retry"`,
+    /// `"phase.start"`, …).
+    pub kind: String,
+    /// Complete JSON object, one line, no trailing newline.
+    pub line: String,
+}
+
+#[derive(Default)]
+struct LogInner {
+    ring: std::collections::VecDeque<EventRecord>,
+    file: Option<File>,
+}
+
+/// Structured JSONL event log. Shared via `Arc`; all methods take `&self`.
+pub struct EventLog {
+    enabled: AtomicBool,
+    epoch: Instant,
+    inner: Mutex<LogInner>,
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for EventLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventLog")
+            .field("enabled", &self.is_enabled())
+            .field("events", &self.len())
+            .finish()
+    }
+}
+
+impl EventLog {
+    /// A new, *disabled* log.
+    pub fn new() -> Self {
+        Self { enabled: AtomicBool::new(false), epoch: Instant::now(), inner: Mutex::default() }
+    }
+
+    /// Turn event collection on or off.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Is the log currently collecting?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Attach (create/truncate) a JSONL file and enable the log. Events
+    /// are appended to the file as they are emitted.
+    pub fn attach_file(&self, path: &Path) -> std::io::Result<()> {
+        let file = File::create(path)?;
+        self.inner.lock().expect("event lock").file = Some(file);
+        self.set_enabled(true);
+        Ok(())
+    }
+
+    /// Record an event of `kind` with the given fields. No-op (one atomic
+    /// load) while the log is disabled.
+    pub fn emit(&self, kind: &str, fields: &[(&str, EventValue)]) {
+        if !self.is_enabled() {
+            return;
+        }
+        let ts_us = self.epoch.elapsed().as_micros() as u64;
+        let mut line = String::with_capacity(64);
+        let _ = write!(line, "{{\"ts_us\":{ts_us},\"event\":\"{}\"", crate::trace::escape(kind));
+        for (key, value) in fields {
+            match value {
+                EventValue::U64(v) => {
+                    let _ = write!(line, ",\"{}\":{v}", crate::trace::escape(key));
+                }
+                EventValue::Str(s) => {
+                    let _ = write!(
+                        line,
+                        ",\"{}\":\"{}\"",
+                        crate::trace::escape(key),
+                        crate::trace::escape(s)
+                    );
+                }
+            }
+        }
+        line.push('}');
+        let mut inner = self.inner.lock().expect("event lock");
+        if let Some(f) = inner.file.as_mut() {
+            let _ = writeln!(f, "{line}");
+        }
+        if inner.ring.len() == RING_CAPACITY {
+            inner.ring.pop_front();
+        }
+        inner.ring.push_back(EventRecord { kind: kind.to_string(), line });
+    }
+
+    /// Number of events currently retained in memory.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("event lock").ring.len()
+    }
+
+    /// True when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy of the retained events, oldest first.
+    pub fn tail(&self) -> Vec<EventRecord> {
+        self.inner.lock().expect("event lock").ring.iter().cloned().collect()
+    }
+
+    /// Retained events of one kind, oldest first.
+    pub fn of_kind(&self, kind: &str) -> Vec<EventRecord> {
+        self.tail().into_iter().filter(|e| e.kind == kind).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let log = EventLog::new();
+        log.emit("slow_query", &[("wall_us", 5u64.into())]);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn events_render_as_json_lines() {
+        let log = EventLog::new();
+        log.set_enabled(true);
+        log.emit(
+            "slow_query",
+            &[("statement", "select \"x\"".into()), ("wall_us", 1234u64.into())],
+        );
+        let evs = log.tail();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].kind, "slow_query");
+        let line = &evs[0].line;
+        assert!(line.starts_with("{\"ts_us\":"), "{line}");
+        assert!(line.contains("\"event\":\"slow_query\""), "{line}");
+        assert!(line.contains("\"wall_us\":1234"), "{line}");
+        assert!(line.contains("select \\\"x\\\""), "{line}");
+        assert!(line.ends_with('}'), "{line}");
+        assert_eq!(line.matches('{').count(), line.matches('}').count());
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let log = EventLog::new();
+        log.set_enabled(true);
+        for i in 0..(RING_CAPACITY as u64 + 10) {
+            log.emit("tick", &[("i", i.into())]);
+        }
+        assert_eq!(log.len(), RING_CAPACITY);
+        // Oldest events were evicted.
+        let first = &log.tail()[0];
+        assert!(first.line.contains("\"i\":10"), "{}", first.line);
+    }
+
+    #[test]
+    fn attach_file_appends_jsonl() {
+        let dir = std::env::temp_dir().join(format!("paradise-events-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let log = EventLog::new();
+        log.attach_file(&path).unwrap();
+        assert!(log.is_enabled());
+        log.emit("net.retry", &[("attempt", 2u64.into())]);
+        log.emit("flow.stall", &[("timeout_ms", 100u64.into())]);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("net.retry"));
+        assert!(lines[1].contains("flow.stall"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

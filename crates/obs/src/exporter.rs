@@ -1,0 +1,233 @@
+//! Prometheus-text `/metrics` endpoint (std-only, no HTTP library).
+//!
+//! [`MetricsExporter::start`] binds a `TcpListener` and answers
+//! `GET /metrics` with the text rendered by a caller-supplied closure —
+//! typically [`render_prometheus`] over per-node registry snapshots pulled
+//! moments before. The server is deliberately minimal: one accept-loop
+//! thread, one request per connection, `Connection: close`. That is all a
+//! scraper needs and keeps the workspace dependency-free.
+
+use crate::registry::{MetricSample, SampleKind};
+use std::fmt::Write as _;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Produces the exporter's response body on each scrape.
+pub type RenderFn = Arc<dyn Fn() -> String + Send + Sync>;
+
+/// Content-Type of the classic Prometheus text exposition format.
+pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Sanitise a dotted metric name into a Prometheus identifier:
+/// `net.wire.bytes_sent` → `paradise_net_wire_bytes_sent` (counters
+/// additionally get the conventional `_total` suffix).
+pub fn prometheus_name(name: &str, kind: SampleKind) -> String {
+    let mut out = String::with_capacity(name.len() + 16);
+    out.push_str("paradise_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if kind == SampleKind::Counter && !out.ends_with("_total") {
+        out.push_str("_total");
+    }
+    out
+}
+
+/// Render node-labelled sample groups as Prometheus text. Each group is
+/// `(node_label, samples)`; every time series gets a `node="<label>"`
+/// label and each metric family gets one `# TYPE` line.
+pub fn render_prometheus(groups: &[(String, Vec<MetricSample>)]) -> String {
+    // family name -> (kind, series lines) in first-seen order is fine,
+    // but sorted output is easier to read and to test.
+    let mut families: std::collections::BTreeMap<String, (SampleKind, Vec<String>)> =
+        std::collections::BTreeMap::new();
+    for (node, samples) in groups {
+        for s in samples {
+            let fam = prometheus_name(&s.name, s.kind);
+            let series = format!("{fam}{{node=\"{node}\"}} {}", s.value);
+            families.entry(fam).or_insert_with(|| (s.kind, Vec::new())).1.push(series);
+        }
+    }
+    let mut out = String::new();
+    for (fam, (kind, series)) in &families {
+        let ty = match kind {
+            SampleKind::Counter => "counter",
+            SampleKind::Gauge => "gauge",
+        };
+        let _ = writeln!(out, "# TYPE {fam} {ty}");
+        for line in series {
+            let _ = writeln!(out, "{line}");
+        }
+    }
+    out
+}
+
+/// A running `/metrics` endpoint. Shuts its thread down on drop.
+pub struct MetricsExporter {
+    addr: SocketAddr,
+    shut: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for MetricsExporter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsExporter").field("addr", &self.addr).finish()
+    }
+}
+
+impl MetricsExporter {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and serve `GET /metrics` with
+    /// the body produced by `render` on every scrape.
+    pub fn start(addr: &str, render: RenderFn) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shut = Arc::new(AtomicBool::new(false));
+        let flag = shut.clone();
+        let handle =
+            std::thread::Builder::new().name("paradise-metrics".into()).spawn(move || {
+                while !flag.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((conn, _)) => serve_one(conn, &render),
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(3));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })?;
+        Ok(MetricsExporter { addr, shut, handle: Some(handle) })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the accept loop and join the thread.
+    pub fn shutdown(&mut self) {
+        self.shut.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsExporter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Answer one HTTP/1.x request on `conn`: 200 + metrics text for
+/// `GET /metrics`, 404 otherwise. Malformed requests are dropped.
+fn serve_one(mut conn: TcpStream, render: &RenderFn) {
+    let _ = conn.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = conn.set_write_timeout(Some(Duration::from_secs(2)));
+    // Read up to the end of the request head (or 4 KiB, whichever first).
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        match conn.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() >= 4096 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let request_line = head.lines().next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (status, body) = if method == "GET" && (path == "/metrics" || path == "/metrics/") {
+        ("200 OK", render())
+    } else {
+        ("404 Not Found", String::from("not found\n"))
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {PROMETHEUS_CONTENT_TYPE}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = conn.write_all(response.as_bytes());
+    let _ = conn.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scrape(addr: SocketAddr, path: &str) -> String {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        let req = format!("GET {path} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n");
+        conn.write_all(req.as_bytes()).unwrap();
+        let mut out = String::new();
+        conn.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn prometheus_names_are_sanitised() {
+        assert_eq!(
+            prometheus_name("net.wire.bytes_sent", SampleKind::Counter),
+            "paradise_net_wire_bytes_sent_total"
+        );
+        assert_eq!(
+            prometheus_name("buffer.frames_cached", SampleKind::Gauge),
+            "paradise_buffer_frames_cached"
+        );
+        // No double `_total`.
+        assert_eq!(
+            prometheus_name("net.bytes_total", SampleKind::Counter),
+            "paradise_net_bytes_total"
+        );
+    }
+
+    #[test]
+    fn render_groups_by_family_with_node_labels() {
+        let groups = vec![
+            ("0".to_string(), vec![MetricSample::new("wal.commits", SampleKind::Counter, 3)]),
+            ("1".to_string(), vec![MetricSample::new("wal.commits", SampleKind::Counter, 5)]),
+            ("qc".to_string(), vec![MetricSample::new("net.bytes", SampleKind::Counter, 77)]),
+        ];
+        let text = render_prometheus(&groups);
+        assert!(text.contains("# TYPE paradise_wal_commits_total counter"), "{text}");
+        assert!(text.contains("paradise_wal_commits_total{node=\"0\"} 3"), "{text}");
+        assert!(text.contains("paradise_wal_commits_total{node=\"1\"} 5"), "{text}");
+        assert!(text.contains("paradise_net_bytes_total{node=\"qc\"} 77"), "{text}");
+        // One TYPE line per family.
+        assert_eq!(text.matches("# TYPE paradise_wal_commits_total").count(), 1);
+    }
+
+    #[test]
+    fn exporter_serves_metrics_and_404() {
+        let render: RenderFn = Arc::new(|| {
+            render_prometheus(&[(
+                "0".to_string(),
+                vec![MetricSample::new("up", SampleKind::Gauge, 1)],
+            )])
+        });
+        let exporter = MetricsExporter::start("127.0.0.1:0", render).unwrap();
+        let ok = scrape(exporter.addr(), "/metrics");
+        assert!(ok.starts_with("HTTP/1.1 200"), "{ok}");
+        assert!(ok.contains("text/plain; version=0.0.4"), "{ok}");
+        assert!(ok.contains("paradise_up{node=\"0\"} 1"), "{ok}");
+        let missing = scrape(exporter.addr(), "/other");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+        // Scrapes keep working until shutdown.
+        let again = scrape(exporter.addr(), "/metrics");
+        assert!(again.contains("paradise_up"), "{again}");
+    }
+}

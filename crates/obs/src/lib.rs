@@ -12,12 +12,27 @@
 //!   file in `chrome://tracing` or <https://ui.perfetto.dev>), one lane per
 //!   node/operator. Disabled sinks cost a single relaxed atomic load per
 //!   span, so instrumentation can stay compiled-in everywhere.
+//!
+//! The monitoring plane (DESIGN §8.4–§8.7) adds two more pieces:
+//!
+//! * [`events`] — an [`EventLog`] of structured JSONL events (slow
+//!   queries, flow-control stalls, connection retries, phase starts), with
+//!   the same disabled-by-default near-zero cost as the trace sink.
+//! * [`exporter`] — a std-only [`MetricsExporter`] serving `GET /metrics`
+//!   in Prometheus text format, rendered from node-labelled
+//!   [`MetricSample`] groups.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod events;
+pub mod exporter;
 pub mod registry;
 pub mod trace;
 
-pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry};
+pub use events::{EventLog, EventRecord, EventValue};
+pub use exporter::{render_prometheus, MetricsExporter, RenderFn};
+pub use registry::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricSample, MetricsRegistry, SampleKind,
+};
 pub use trace::{Span, TraceEvent, TraceSink};

@@ -40,9 +40,26 @@ impl Counter {
 pub struct Gauge(Arc<AtomicU64>);
 
 impl Gauge {
+    /// A gauge not (yet) attached to any registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
     /// Set the current value.
     pub fn set(&self, v: u64) {
         self.0.store(v, Ordering::Relaxed);
+    }
+    /// Add `n` atomically — safe to call concurrently with snapshots,
+    /// unlike a read-modify-`set` cycle which races between the read and
+    /// the write.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+    /// Subtract `n` atomically, saturating at zero.
+    pub fn sub(&self, n: u64) {
+        // fetch_update never fails with a Some-returning closure.
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_sub(n)));
     }
     /// Current value.
     pub fn get(&self) -> u64 {
@@ -90,20 +107,37 @@ impl Histogram {
         let count = self.0.count.load(Ordering::Relaxed);
         let sum = self.0.sum.load(Ordering::Relaxed);
         let max = self.0.max.load(Ordering::Relaxed);
-        // Approximate p99 as the upper bound of the bucket holding the
-        // 99th-percentile sample.
-        let target = count - count / 100;
-        let mut seen = 0;
-        let mut p99 = 0;
-        for (i, b) in self.0.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if count > 0 && seen >= target {
-                p99 = if i >= 63 { u64::MAX } else { 1u64 << i };
-                break;
-            }
+        let buckets: [u64; HIST_BUCKETS] =
+            std::array::from_fn(|i| self.0.buckets[i].load(Ordering::Relaxed));
+        HistogramSnapshot {
+            count,
+            sum,
+            max,
+            p50: percentile(&buckets, count, 50),
+            p95: percentile(&buckets, count, 95),
+            p99: percentile(&buckets, count, 99),
         }
-        HistogramSnapshot { count, sum, max, p99 }
     }
+}
+
+/// Upper bound of the power-of-two bucket containing the `p`-th percentile
+/// sample (0 for an empty histogram).
+fn percentile(buckets: &[u64; HIST_BUCKETS], count: u64, p: u64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    // Rank of the percentile sample, rounding up: for p=99 this is
+    // `count - count/100`, matching the "at least p% of samples are <= the
+    // reported bound" reading.
+    let target = count - count * (100 - p) / 100;
+    let mut seen = 0;
+    for (i, b) in buckets.iter().enumerate() {
+        seen += b;
+        if seen >= target {
+            return if i >= HIST_BUCKETS - 1 { u64::MAX } else { 1u64 << i };
+        }
+    }
+    u64::MAX
 }
 
 /// Summary returned by [`Histogram::snapshot`].
@@ -115,6 +149,10 @@ pub struct HistogramSnapshot {
     pub sum: u64,
     /// Largest sample.
     pub max: u64,
+    /// Upper bound of the bucket containing the median sample.
+    pub p50: u64,
+    /// Upper bound of the bucket containing the 95th-percentile sample.
+    pub p95: u64,
     /// Upper bound of the bucket containing the 99th-percentile sample.
     pub p99: u64,
 }
@@ -135,6 +173,35 @@ enum Metric {
     Histogram(Histogram),
     /// Reads a pre-existing atomic (or computes a value) at snapshot time.
     Collector(CollectorFn),
+}
+
+/// Kind of a [`MetricSample`] — what Prometheus calls the metric *type*.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SampleKind {
+    /// Monotonically increasing (counters, collectors, histogram
+    /// count/sum).
+    Counter,
+    /// Point-in-time level (gauges, histogram max/percentiles).
+    Gauge,
+}
+
+/// One flattened `name = value` reading out of a registry — the unit that
+/// travels over the wire in a `StatsReply` and feeds the exporter.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricSample {
+    /// Metric name (histograms are pre-expanded to `name.count` etc.).
+    pub name: String,
+    /// Counter vs gauge semantics, for exporter `# TYPE` lines.
+    pub kind: SampleKind,
+    /// Value at sampling time.
+    pub value: u64,
+}
+
+impl MetricSample {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, kind: SampleKind, value: u64) -> Self {
+        MetricSample { name: name.into(), kind, value }
+    }
 }
 
 /// The unified name → metric table. One per cluster.
@@ -211,15 +278,43 @@ impl MetricsRegistry {
         m.insert(name.to_string(), Metric::Collector(Arc::new(f)));
     }
 
-    /// Read a single metric by name (histograms report their sample count).
+    /// Publish a pre-existing [`Gauge`] handle under `name` (used by
+    /// subsystems — e.g. the buffer pool's cached-frame gauge — that bump
+    /// the handle themselves).
+    pub fn register_gauge(&self, name: &str, gauge: Gauge) {
+        let mut m = self.metrics.lock().expect("metrics lock");
+        m.insert(name.to_string(), Metric::Gauge(gauge));
+    }
+
+    /// Read a single metric by name. Histograms answer both their bare
+    /// name (sample count) and the expanded statistic names produced by
+    /// [`Self::snapshot`]: `name.count`, `name.sum`, `name.max`,
+    /// `name.p50`, `name.p95`, `name.p99`.
     pub fn get(&self, name: &str) -> Option<u64> {
         let m = self.metrics.lock().expect("metrics lock");
-        m.get(name).map(|metric| match metric {
-            Metric::Counter(c) => c.get(),
-            Metric::Gauge(g) => g.get(),
-            Metric::Histogram(h) => h.snapshot().count,
-            Metric::Collector(f) => f(),
-        })
+        if let Some(metric) = m.get(name) {
+            return Some(match metric {
+                Metric::Counter(c) => c.get(),
+                Metric::Gauge(g) => g.get(),
+                Metric::Histogram(h) => h.snapshot().count,
+                Metric::Collector(f) => f(),
+            });
+        }
+        // `lat.p95` style lookup into a histogram registered as `lat`.
+        let (base, stat) = name.rsplit_once('.')?;
+        if let Some(Metric::Histogram(h)) = m.get(base) {
+            let s = h.snapshot();
+            return match stat {
+                "count" => Some(s.count),
+                "sum" => Some(s.sum),
+                "max" => Some(s.max),
+                "p50" => Some(s.p50),
+                "p95" => Some(s.p95),
+                "p99" => Some(s.p99),
+                _ => None,
+            };
+        }
+        None
     }
 
     /// Point-in-time values of every metric, sorted by name. Histograms
@@ -248,7 +343,40 @@ impl MetricsRegistry {
                     out.insert(format!("{name}.count"), s.count);
                     out.insert(format!("{name}.sum"), s.sum);
                     out.insert(format!("{name}.max"), s.max);
+                    out.insert(format!("{name}.p50"), s.p50);
+                    out.insert(format!("{name}.p95"), s.p95);
                     out.insert(format!("{name}.p99"), s.p99);
+                }
+            }
+        }
+        out
+    }
+
+    /// Flattened, kind-tagged readings of every metric, sorted by name —
+    /// what a `StatsReply` carries and what the exporter renders.
+    pub fn samples(&self) -> Vec<MetricSample> {
+        let metrics: Vec<(String, Metric)> = {
+            let m = self.metrics.lock().expect("metrics lock");
+            m.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+        };
+        let mut out = Vec::with_capacity(metrics.len());
+        for (name, metric) in metrics {
+            match metric {
+                Metric::Counter(c) => {
+                    out.push(MetricSample::new(name, SampleKind::Counter, c.get()))
+                }
+                Metric::Gauge(g) => out.push(MetricSample::new(name, SampleKind::Gauge, g.get())),
+                Metric::Collector(f) => out.push(MetricSample::new(name, SampleKind::Counter, f())),
+                Metric::Histogram(h) => {
+                    let s = h.snapshot();
+                    let c = SampleKind::Counter;
+                    let g = SampleKind::Gauge;
+                    out.push(MetricSample::new(format!("{name}.count"), c, s.count));
+                    out.push(MetricSample::new(format!("{name}.sum"), c, s.sum));
+                    out.push(MetricSample::new(format!("{name}.max"), g, s.max));
+                    out.push(MetricSample::new(format!("{name}.p50"), g, s.p50));
+                    out.push(MetricSample::new(format!("{name}.p95"), g, s.p95));
+                    out.push(MetricSample::new(format!("{name}.p99"), g, s.p99));
                 }
             }
         }
@@ -309,6 +437,87 @@ mod tests {
         let snap = reg.snapshot();
         assert_eq!(snap.get("lat.count"), Some(&4));
         assert_eq!(snap.get("lat.sum"), Some(&106));
+    }
+
+    #[test]
+    fn gauge_add_sub_are_atomic_deltas() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("frames");
+        g.add(5);
+        g.add(3);
+        g.sub(2);
+        assert_eq!(reg.get("frames"), Some(6));
+        // Saturates instead of wrapping below zero.
+        g.sub(100);
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn register_gauge_publishes_existing_handle() {
+        let reg = MetricsRegistry::new();
+        let g = Gauge::new();
+        g.add(7);
+        reg.register_gauge("pool.cached", g.clone());
+        assert_eq!(reg.get("pool.cached"), Some(7));
+        g.sub(3);
+        assert_eq!(reg.get("pool.cached"), Some(4));
+    }
+
+    #[test]
+    fn histogram_percentiles_from_buckets() {
+        let h = Histogram::default();
+        // 99 samples of 1 and one of 1000: p50 lands in the `1` bucket,
+        // p99/p95 vary, max is exact.
+        for _ in 0..99 {
+            h.record(1);
+        }
+        h.record(1000);
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.p50, 2, "p50 bound {}", s.p50);
+        assert_eq!(s.p95, 2, "p95 bound {}", s.p95);
+        assert!(s.p99 <= 2 || s.p99 >= 1000, "p99 bound {}", s.p99);
+        // Empty histogram reports zeros.
+        assert_eq!(Histogram::default().snapshot().p95, 0);
+    }
+
+    #[test]
+    fn get_resolves_expanded_histogram_stats() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat");
+        for v in [2u64, 4, 8] {
+            h.record(v);
+        }
+        assert_eq!(reg.get("lat"), Some(3));
+        assert_eq!(reg.get("lat.count"), Some(3));
+        assert_eq!(reg.get("lat.sum"), Some(14));
+        assert_eq!(reg.get("lat.max"), Some(8));
+        assert!(reg.get("lat.p50").is_some());
+        assert!(reg.get("lat.p95").is_some());
+        assert!(reg.get("lat.p99").is_some());
+        assert_eq!(reg.get("lat.bogus"), None);
+        assert_eq!(reg.get("missing.p99"), None);
+    }
+
+    #[test]
+    fn samples_tag_kinds_and_expand_histograms() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c").add(2);
+        reg.gauge("g").set(5);
+        reg.histogram("h").record(9);
+        reg.register_collector("k", || 11);
+        let samples = reg.samples();
+        let find = |n: &str| samples.iter().find(|s| s.name == n).cloned().unwrap();
+        assert_eq!(find("c").kind, SampleKind::Counter);
+        assert_eq!(find("c").value, 2);
+        assert_eq!(find("g").kind, SampleKind::Gauge);
+        assert_eq!(find("k").value, 11);
+        assert_eq!(find("h.count").value, 1);
+        assert_eq!(find("h.sum").value, 9);
+        assert_eq!(find("h.max").kind, SampleKind::Gauge);
+        assert!(samples.iter().any(|s| s.name == "h.p50"));
+        assert!(samples.iter().any(|s| s.name == "h.p95"));
     }
 
     #[test]

@@ -178,8 +178,9 @@ impl TraceSink {
     }
 }
 
-/// JSON string escaping for the small subset we emit.
-fn escape(s: &str) -> String {
+/// JSON string escaping for the small subset we emit (shared with the
+/// event log).
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

@@ -16,6 +16,8 @@ pub enum BinOp {
     Ge,
     /// `overlaps` — the spatial intersection predicate.
     Overlaps,
+    /// `like` — SQL pattern match (`%` any run, `_` any one char).
+    Like,
     /// `and`
     And,
 }

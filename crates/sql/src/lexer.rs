@@ -12,7 +12,7 @@ pub enum Token {
     Int(i64),
     /// Float literal.
     Float(f64),
-    /// Double-quoted string literal (quotes stripped).
+    /// String literal, single- or double-quoted (quotes stripped).
     Str(String),
     /// `(`
     LParen,
@@ -101,9 +101,10 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>> {
                     i += 1;
                 }
             }
-            '"' => {
+            '"' | '\'' => {
+                let quote = bytes[i];
                 let mut j = i + 1;
-                while j < bytes.len() && bytes[j] != b'"' {
+                while j < bytes.len() && bytes[j] != quote {
                     j += 1;
                 }
                 if j >= bytes.len() {
@@ -248,6 +249,15 @@ mod tests {
                 Token::Ident("f".into()),
             ]
         );
+    }
+
+    #[test]
+    fn single_quoted_strings() {
+        assert_eq!(
+            toks("'wal%' \"x\" 'it'"),
+            vec![Token::Str("wal%".into()), Token::Str("x".into()), Token::Str("it".into())]
+        );
+        assert_eq!(lex("'oops").unwrap_err().offset, 0);
     }
 
     #[test]

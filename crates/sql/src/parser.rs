@@ -132,7 +132,7 @@ impl Parser {
         }
     }
 
-    /// comparison := primary [(= | < | <= | > | >= | overlaps) primary]
+    /// comparison := primary [(= | < | <= | > | >= | overlaps | like) primary]
     fn comparison(&mut self) -> Result<Expr> {
         let lhs = self.primary()?;
         let op = match self.peek() {
@@ -142,6 +142,7 @@ impl Parser {
             Some(Token::Gt) => BinOp::Gt,
             Some(Token::Ge) => BinOp::Ge,
             Some(Token::Ident(s)) if s.eq_ignore_ascii_case("overlaps") => BinOp::Overlaps,
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("like") => BinOp::Like,
             _ => return Ok(lhs),
         };
         self.pos += 1;
@@ -159,6 +160,17 @@ impl Parser {
         Ok(lhs)
     }
 
+    /// A FROM-list entry: `name` or a dotted `schema.name` (the system
+    /// catalog lives under the `paradise.` schema).
+    fn table_name(&mut self) -> Result<String> {
+        let mut name = self.ident()?;
+        if self.peek() == Some(&Token::Dot) {
+            self.pos += 1;
+            name = format!("{name}.{}", self.ident()?);
+        }
+        Ok(name)
+    }
+
     fn select(&mut self) -> Result<SelectStmt> {
         self.expect_keyword("select")?;
         let projection = if self.peek() == Some(&Token::Star) {
@@ -173,10 +185,10 @@ impl Parser {
             Projection::Exprs(exprs)
         };
         self.expect_keyword("from")?;
-        let mut tables = vec![self.ident()?];
+        let mut tables = vec![self.table_name()?];
         while self.peek() == Some(&Token::Comma) {
             self.pos += 1;
-            tables.push(self.ident()?);
+            tables.push(self.table_name()?);
         }
         let where_clause = if self.keyword("where") { Some(self.expr()?) } else { None };
         let mut group_by = Vec::new();
@@ -318,6 +330,18 @@ mod tests {
         .unwrap();
         let conj_count = s.conjuncts().len();
         assert_eq!(conj_count, 2);
+    }
+
+    #[test]
+    fn like_operator_and_catalog_tables() {
+        let s = parse_select("select * from paradise.metrics where name like 'wal%'").unwrap();
+        assert_eq!(s.tables, vec!["paradise.metrics"]);
+        let Expr::Binary { op, rhs, .. } = s.where_clause.unwrap() else { panic!() };
+        assert_eq!(op, BinOp::Like);
+        assert_eq!(*rhs, Expr::Str("wal%".into()));
+        // Dotted names compose with plain ones in a FROM list.
+        let s = parse_select("select * from paradise.queries, roads").unwrap();
+        assert_eq!(s.tables, vec!["paradise.queries", "roads"]);
     }
 
     #[test]

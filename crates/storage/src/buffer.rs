@@ -11,6 +11,7 @@
 use crate::page::{Page, PageId};
 use crate::volume::Volume;
 use crate::{Result, StorageError};
+use paradise_obs::Gauge;
 use paradise_util::sync::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -114,6 +115,11 @@ pub struct BufferPool {
     misses: AtomicU64,
     writebacks: AtomicU64,
     evictions: AtomicU64,
+    /// Live frame count, maintained with `add`/`sub` deltas at every
+    /// insert/remove (all under the `frames` lock) so snapshots never race
+    /// a recompute-then-`set` cycle. Cloned out via [`Self::frames_gauge`]
+    /// for registry publication.
+    frames_cached: Gauge,
 }
 
 impl BufferPool {
@@ -128,6 +134,7 @@ impl BufferPool {
             misses: AtomicU64::new(0),
             writebacks: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            frames_cached: Gauge::new(),
         }
     }
 
@@ -139,6 +146,17 @@ impl BufferPool {
     /// Number of frames.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Handle on the live cached-frame gauge (shares the atomic — register
+    /// it into a [`paradise_obs::MetricsRegistry`] to publish it).
+    pub fn frames_gauge(&self) -> Gauge {
+        self.frames_cached.clone()
+    }
+
+    /// Number of frames currently cached.
+    pub fn cached_frames(&self) -> u64 {
+        self.frames_cached.get()
     }
 
     fn pin(&self, frame: &Arc<Frame>) -> PageGuard {
@@ -165,6 +183,7 @@ impl BufferPool {
         });
         let guard = self.pin(&frame);
         frames.insert(pid, frame);
+        self.frames_cached.add(1);
         Ok(guard)
     }
 
@@ -188,6 +207,7 @@ impl BufferPool {
         });
         let guard = self.pin(&frame);
         frames.insert(pid, frame);
+        self.frames_cached.add(1);
         Ok(guard)
     }
 
@@ -203,6 +223,7 @@ impl BufferPool {
                 return Err(StorageError::PoolExhausted);
             };
             let frame = frames.remove(&pid).expect("victim present");
+            self.frames_cached.sub(1);
             if frame.dirty.load(Ordering::Acquire) {
                 self.vol.write_page(pid, &frame.page.read())?;
                 self.writebacks.fetch_add(1, Ordering::Relaxed);
@@ -238,6 +259,7 @@ impl BufferPool {
     /// "buffer pool flushed between queries" knob of the benchmark.
     pub fn flush_and_clear(&self) -> Result<()> {
         let mut frames = self.frames.lock();
+        let before = frames.len() as u64;
         let mut kept = HashMap::new();
         for (pid, frame) in frames.drain() {
             if frame.dirty.swap(false, Ordering::AcqRel) {
@@ -248,6 +270,7 @@ impl BufferPool {
                 kept.insert(pid, frame);
             }
         }
+        self.frames_cached.sub(before - kept.len() as u64);
         *frames = kept;
         Ok(())
     }
@@ -262,6 +285,7 @@ impl BufferPool {
             if let Some(f) = frames.get(&pid) {
                 if f.pins.load(Ordering::Acquire) == 0 {
                     frames.remove(&pid);
+                    self.frames_cached.sub(1);
                 }
             }
         }
@@ -448,6 +472,26 @@ mod tests {
         acc = acc.merge(pool.take_stats());
         let total = acc.hits + acc.misses;
         assert_eq!(total, THREADS as u64 * GETS, "snapshot accumulation lost updates: {acc:?}");
+    }
+
+    #[test]
+    fn frames_gauge_tracks_cache_population() {
+        let (pool, vol) = pool(2, "h.vol");
+        let e = vol.alloc_extent().unwrap();
+        assert_eq!(pool.cached_frames(), 0);
+        let _ = pool.get_new(e).unwrap();
+        let _ = pool.get_new(e + 1).unwrap();
+        assert_eq!(pool.cached_frames(), 2);
+        // Eviction decrements.
+        let _ = pool.get_new(e + 2).unwrap();
+        assert_eq!(pool.cached_frames(), 2);
+        // Clearing drops unpinned frames and the gauge follows.
+        pool.flush_and_clear().unwrap();
+        assert_eq!(pool.cached_frames(), 0);
+        // The registered handle shares the atomic.
+        let g = pool.frames_gauge();
+        let _ = pool.get(e).unwrap();
+        assert_eq!(g.get(), 1);
     }
 
     #[test]

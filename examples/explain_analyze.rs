@@ -8,13 +8,17 @@
 //! cargo run --release --example explain_analyze
 //! ```
 //!
-//! Exits non-zero if the profile comes back empty, so CI can use this as
-//! a smoke test of the whole observability pipeline.
+//! Also starts the Prometheus endpoint, scrapes it over plain HTTP, and
+//! writes the exposition to `explain_analyze.metrics.prom` — exiting
+//! non-zero if the profile comes back empty or the scrape is missing the
+//! node-labelled wire counters, so CI can use this as a smoke test of the
+//! whole observability pipeline.
 
 use paradise::{Paradise, ParadiseConfig, QueryResult};
 use paradise_datagen::tables::{
     land_cover_table, populated_places_table, raster_table, World, WorldSpec,
 };
+use std::io::{Read, Write};
 use std::path::PathBuf;
 
 const US: &str = "Polygon(-125, 25, -67, 25, -67, 49, -125, 49)";
@@ -31,7 +35,9 @@ fn main() {
         ParadiseConfig::new(dir, 4)
             .with_grid_tiles(256)
             .with_pool_pages(512)
-            .with_trace(&trace_path),
+            .with_trace(&trace_path)
+            .with_transport(paradise::TransportKind::Tcp)
+            .with_metrics_addr("127.0.0.1:0"),
     )
     .expect("create cluster");
 
@@ -80,4 +86,29 @@ fn main() {
         std::process::exit(1);
     }
     println!("\nwrote {} ({} bytes)", trace_path.display(), trace.len());
+
+    // Scrape our own Prometheus endpoint and keep the exposition as an
+    // artifact.
+    let scrape_path = PathBuf::from("explain_analyze.metrics.prom");
+    let addr = db.metrics_addr().expect("metrics endpoint");
+    let mut conn = std::net::TcpStream::connect(addr).expect("connect /metrics");
+    write!(conn, "GET /metrics HTTP/1.1\r\nHost: paradise\r\nConnection: close\r\n\r\n")
+        .expect("request");
+    let mut resp = String::new();
+    conn.read_to_string(&mut resp).expect("scrape");
+    let body = resp.split("\r\n\r\n").nth(1).unwrap_or_default();
+    std::fs::write(&scrape_path, body).expect("write scrape");
+    println!("--- /metrics scrape (excerpt) ---");
+    for line in body.lines().filter(|l| l.contains("paradise_net")) {
+        println!("{line}");
+    }
+    if !resp.starts_with("HTTP/1.1 200")
+        || !body.contains("paradise_net_bytes_total")
+        || !body.contains("node=\"0\"")
+        || !body.contains("node=\"qc\"")
+    {
+        eprintln!("bad /metrics scrape from {addr}");
+        std::process::exit(1);
+    }
+    println!("\nwrote {} ({} bytes)", scrape_path.display(), body.len());
 }

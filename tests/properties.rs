@@ -206,3 +206,82 @@ fn rtree_search_agrees_with_linear_scan() {
         assert_eq!(got, want);
     }
 }
+
+fn random_sample(rng: &mut Rng) -> paradise::obs::MetricSample {
+    use paradise::obs::{MetricSample, SampleKind};
+    let name: String =
+        (0..rng.gen_range(0usize..24)).map(|_| (b'a' + (rng.index(26) as u8)) as char).collect();
+    let kind = if rng.index(2) == 0 { SampleKind::Counter } else { SampleKind::Gauge };
+    MetricSample::new(name, kind, rng.next_u64())
+}
+
+fn random_frame(rng: &mut Rng) -> paradise::net::frame::Frame {
+    use paradise::net::frame::Frame;
+    let name: String =
+        (0..rng.gen_range(1usize..20)).map(|_| (b'a' + (rng.index(26) as u8)) as char).collect();
+    match rng.index(10) {
+        0 => Frame::OpenStream { stream: rng.next_u64(), window: rng.next_u64() as u32 },
+        1 => {
+            let n = rng.gen_range(0usize..256);
+            Frame::Tuple(rng.bytes(n))
+        }
+        2 => Frame::Eos,
+        3 => Frame::Credit(rng.next_u64() as u32),
+        4 => {
+            let mut oid = [0u8; 10];
+            oid.copy_from_slice(&rng.bytes(10));
+            Frame::PullTile(oid)
+        }
+        5 => {
+            let n = rng.gen_range(0usize..512);
+            Frame::TileData(rng.bytes(n))
+        }
+        6 => Frame::Scan { file: name, window: rng.next_u64() as u32 },
+        7 => Frame::Error(name),
+        8 => Frame::StatsPull,
+        _ => Frame::StatsReply((0..rng.gen_range(0usize..8)).map(|_| random_sample(rng)).collect()),
+    }
+}
+
+#[test]
+fn wire_frames_roundtrip() {
+    use paradise::net::frame::Frame;
+    let mut rng = Rng::seed_from_u64(11);
+    for case in 0..256 {
+        let f = random_frame(&mut rng);
+        let bytes = f.to_bytes();
+        let len = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+        assert_eq!(len, bytes.len() - 4, "case {case}: length prefix");
+        assert_eq!(Frame::from_body(&bytes[4..]).unwrap(), f, "case {case}: {f:?}");
+    }
+}
+
+/// Truncating a frame body must never panic, and any prefix the decoder
+/// *does* accept must re-encode to exactly that prefix (i.e. the decoder
+/// never invents trailing data).
+#[test]
+fn truncated_frame_bodies_fail_closed() {
+    use paradise::net::frame::Frame;
+    let mut rng = Rng::seed_from_u64(12);
+    for _ in 0..128 {
+        let f = random_frame(&mut rng);
+        let body = &f.to_bytes()[4..];
+        for cut in 0..body.len() {
+            if let Ok(g) = Frame::from_body(&body[..cut]) {
+                assert_eq!(
+                    &g.to_bytes()[4..],
+                    &body[..cut],
+                    "decoder accepted {cut} bytes of {f:?} as {g:?} but re-encodes differently"
+                );
+            }
+        }
+        // Fixed-size payloads reject truncation outright.
+        if matches!(f, Frame::OpenStream { .. } | Frame::Credit(_) | Frame::PullTile(_)) {
+            assert!(Frame::from_body(&body[..body.len() - 1]).is_err(), "{f:?}");
+        }
+    }
+    // An empty body is not a frame at all.
+    assert!(Frame::from_body(&[]).is_err());
+    // Unknown tags are rejected.
+    assert!(Frame::from_body(&[42]).is_err());
+}

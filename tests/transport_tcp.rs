@@ -211,3 +211,46 @@ fn killed_data_server_fails_with_bounded_retries() {
     let open = cluster.stream(4, 0, 1);
     assert!(open.is_err(), "opening a stream on a dead transport must fail");
 }
+
+/// Acceptance: `select * from paradise.metrics` on a TCP cluster returns
+/// per-node rows pulled over the wire (StatsPull/StatsReply), and the
+/// QC's wire-counter rows agree with the transport's own `WireStats`.
+#[test]
+fn catalog_metrics_over_tcp_reflects_wire_stats() {
+    let world = World::generate(WorldSpec::tiny(11));
+    let db = build_db("catalog", &world, TransportKind::Tcp);
+    // Generate real wire traffic first.
+    queries::q2(&db, QUERY_CHANNEL, &tables::us_polygon()).expect("q2");
+
+    let before = db.obs().get("net.wire.bytes_sent").expect("wire counter");
+    let r = db.sql("select * from paradise.metrics").expect("catalog over tcp");
+    let after = db.obs().get("net.wire.bytes_sent").expect("wire counter");
+    assert!(after > before, "the stats pull itself must cross the wire");
+
+    let cell = |t: &Tuple, i: usize| match t.get(i).expect("col") {
+        Value::Str(s) => s.clone(),
+        other => panic!("expected string, got {other:?}"),
+    };
+    let val = |t: &Tuple, i: usize| match t.get(i).expect("col") {
+        Value::Int(v) => *v as u64,
+        other => panic!("expected int, got {other:?}"),
+    };
+    // Every data node answered with its own registry rows.
+    for node in ["0", "1"] {
+        let row = r
+            .rows
+            .iter()
+            .find(|t| cell(t, 0) == "buffer.capacity" && cell(t, 1) == node)
+            .unwrap_or_else(|| panic!("no buffer.capacity row for node {node}"));
+        assert!(val(row, 2) > 0, "node {node} capacity");
+    }
+    // The QC row for the wire counter is bracketed by the direct
+    // before/after readings of the same counter.
+    let wire_row = r
+        .rows
+        .iter()
+        .find(|t| cell(t, 0) == "net.wire.bytes_sent" && cell(t, 1) == "qc")
+        .expect("wire counter row");
+    let v = val(wire_row, 2);
+    assert!(v >= before && v <= after, "wire row {v} outside [{before}, {after}]");
+}
