@@ -1,0 +1,48 @@
+//! Fault-injection plane overhead: the disarmed fast path must stay at
+//! one relaxed atomic load, and arming an *unrelated* site must not slow
+//! hot callers down. The storage group measures the real injection sites
+//! on the page-write path, where a regression would hit every commit.
+
+use paradise_bench::harness::Criterion;
+use paradise_bench::{criterion_group, criterion_main};
+use paradise_storage::page::PAGE_SIZE;
+use paradise_storage::volume::Volume;
+use paradise_util::failpoint::{self, Policy};
+use std::hint::black_box;
+
+fn bench_failpoint(c: &mut Criterion) {
+    let mut g = c.benchmark_group("failpoint");
+    g.bench_function("trigger/disarmed", |b| {
+        failpoint::disarm_all();
+        b.iter(|| black_box(failpoint::trigger("bench.hot.site")).is_none())
+    });
+    g.bench_function("trigger/other_site_armed", |b| {
+        // Arming one site flips the global counter: every other site now
+        // pays the slow-path lookup. This is the worst disarmed-ish case.
+        let _armed = failpoint::armed("bench.cold.site", Policy::delay(std::time::Duration::ZERO));
+        b.iter(|| black_box(failpoint::trigger("bench.hot.site")).is_none())
+    });
+    failpoint::disarm_all();
+    g.finish();
+
+    let mut g = c.benchmark_group("failpoint-storage");
+    let dir = std::env::temp_dir().join(format!("paradise-bench-fp-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench dir");
+    let vol = Volume::create(dir.join("vol")).expect("volume");
+    let pid = vol.alloc_extent().expect("extent");
+    let bytes = [0x3Cu8; PAGE_SIZE];
+    g.bench_function("write_page_bytes/disarmed", |b| {
+        failpoint::disarm_all();
+        b.iter(|| vol.write_page_bytes(pid, &bytes).unwrap())
+    });
+    g.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(200)).measurement_time(std::time::Duration::from_millis(600));
+    targets = bench_failpoint
+}
+criterion_main!(benches);

@@ -57,6 +57,11 @@ pub struct ParadiseConfig {
     /// Where the structured JSONL event log is written (`None`: events
     /// stay in the in-memory ring and the log starts disabled).
     pub event_log_path: Option<PathBuf>,
+    /// Network tunables for the [`TransportKind::Tcp`] transport
+    /// (timeouts, retry/backoff schedule). `None`: the defaults. Chaos and
+    /// fault-injection tests override this so a dead or stalled peer
+    /// surfaces as a clean per-query error within a bounded wait.
+    pub net: Option<paradise_net::NetConfig>,
 }
 
 impl ParadiseConfig {
@@ -77,6 +82,7 @@ impl ParadiseConfig {
             history_capacity: 128,
             slow_query_threshold: None,
             event_log_path: None,
+            net: None,
         }
     }
 
@@ -126,6 +132,13 @@ impl ParadiseConfig {
     /// Enables the structured event log and writes it (JSONL) to `path`.
     pub fn with_event_log(mut self, path: impl Into<PathBuf>) -> Self {
         self.event_log_path = Some(path.into());
+        self
+    }
+
+    /// Overrides the TCP transport's network tunables (the `events` handle
+    /// is wired to the cluster's event log at startup regardless).
+    pub fn with_net(mut self, net: paradise_net::NetConfig) -> Self {
+        self.net = Some(net);
         self
     }
 }
@@ -195,10 +208,22 @@ impl Paradise {
                 .attach_file(path)
                 .map_err(|e| ExecError::Other(format!("event log {}: {e}", path.display())))?;
         }
+        // Every failpoint trigger in the process lands in this instance's
+        // event log (site + action), so chaos runs leave an auditable JSONL
+        // trail alongside the net.retry / flow.stall events they provoke.
+        {
+            let events = cluster.events().clone();
+            paradise_util::failpoint::set_observer(move |site, action| {
+                events.emit(
+                    "failpoint",
+                    &[("site", site.to_string().into()), ("action", action.to_string().into())],
+                );
+            });
+        }
         if cfg.transport == TransportKind::Tcp {
             let net_cfg = paradise_net::NetConfig {
                 events: Some(cluster.events().clone()),
-                ..paradise_net::NetConfig::default()
+                ..cfg.net.unwrap_or_default()
             };
             let t = paradise_net::TcpTransport::serve_with(cluster.nodes(), net_cfg)?;
             t.register_metrics(cluster.obs());

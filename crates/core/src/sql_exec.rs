@@ -57,6 +57,7 @@ pub fn run_sql(db: &Paradise, text: &str) -> Result<QueryResult> {
             Ok(result)
         }
         Err(e) => {
+            events.emit("query.error", &[("error", e.to_string().into())]);
             history.record(
                 text,
                 "error",

@@ -364,6 +364,13 @@ impl Cluster {
                     }
                     let (tx, rx) = self.stream(stream::DEFAULT_WINDOW, node, qc)?;
                     senders.push(std::thread::spawn(move || -> Result<()> {
+                        // `exec.collect_send` injects a poisoned node
+                        // during result collection.
+                        if let Err(msg) = paradise_util::failpoint::check("exec.collect_send") {
+                            return Err(ExecError::Other(format!(
+                                "injected fault at exec.collect_send (node {node}): {msg}"
+                            )));
+                        }
                         for t in rows {
                             tx.send(t)?;
                         }
@@ -371,12 +378,35 @@ impl Cluster {
                     }));
                     receivers.push(rx);
                 }
+                // Drain everything first (senders block on flow control),
+                // then fail on any sender or link error — a lossy link must
+                // produce an error, never a silently truncated result set.
                 let mut out = Vec::new();
-                for rx in receivers {
-                    out.extend(rx);
+                let mut link_err: Option<String> = None;
+                for mut rx in receivers {
+                    while let Some(t) = rx.recv() {
+                        out.push(t);
+                    }
+                    if link_err.is_none() {
+                        link_err = rx.link_error();
+                    }
                 }
+                let mut send_err: Option<ExecError> = None;
                 for s in senders {
-                    s.join().map_err(|_| ExecError::Other("collect sender panicked".into()))??;
+                    match s.join() {
+                        Ok(Ok(())) => {}
+                        Ok(Err(e)) => send_err = send_err.or(Some(e)),
+                        Err(_) => {
+                            send_err = send_err
+                                .or(Some(ExecError::Other("collect sender panicked".into())))
+                        }
+                    }
+                }
+                if let Some(e) = send_err {
+                    return Err(e);
+                }
+                if let Some(msg) = link_err {
+                    return Err(ExecError::Other(format!("collect stream failed: {msg}")));
                 }
                 Ok(out)
             }

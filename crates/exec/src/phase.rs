@@ -142,6 +142,14 @@ pub fn route(cluster: &Cluster, outbox: Vec<Vec<(NodeId, Tuple)>>) -> Result<Vec
             }
             let (tx, rx) = cluster.stream(crate::stream::DEFAULT_WINDOW, src, dst)?;
             senders.push(std::thread::spawn(move || -> Result<()> {
+                // `exec.route_send` injects a poisoned sender: the node's
+                // routing thread dies and the whole phase must fail
+                // cleanly rather than deliver a partial repartition.
+                if let Err(msg) = paradise_util::failpoint::check("exec.route_send") {
+                    return Err(crate::ExecError::Other(format!(
+                        "injected fault at exec.route_send (node {src}): {msg}"
+                    )));
+                }
                 for t in batch {
                     tx.send(t)?;
                 }
@@ -150,11 +158,36 @@ pub fn route(cluster: &Cluster, outbox: Vec<Vec<(NodeId, Tuple)>>) -> Result<Vec
             receivers.push((dst, rx));
         }
     }
-    for (dst, rx) in receivers {
-        inbox[dst].extend(rx);
+    // Drain every receiver before joining senders (senders block on flow
+    // control until their stream drains), then surface the first failure.
+    // A link error without a sender error means tuples were lost in
+    // flight — that MUST fail the phase: a silently short inbox would
+    // produce wrong results rather than an error.
+    let mut link_err: Option<String> = None;
+    for (dst, mut rx) in receivers {
+        while let Some(t) = rx.recv() {
+            inbox[dst].push(t);
+        }
+        if link_err.is_none() {
+            link_err = rx.link_error();
+        }
     }
+    let mut send_err: Option<crate::ExecError> = None;
     for s in senders {
-        s.join().map_err(|_| crate::ExecError::Other("route sender panicked".into()))??;
+        match s.join() {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => send_err = send_err.or(Some(e)),
+            Err(_) => {
+                send_err =
+                    send_err.or(Some(crate::ExecError::Other("route sender panicked".into())))
+            }
+        }
+    }
+    if let Some(e) = send_err {
+        return Err(e);
+    }
+    if let Some(msg) = link_err {
+        return Err(crate::ExecError::Other(format!("route stream failed: {msg}")));
     }
     Ok(inbox)
 }

@@ -19,11 +19,17 @@ pub struct NetConfig {
     /// How long a sender waits for flow-control credit before declaring
     /// the receiver stalled or dead.
     pub send_timeout: Duration,
+    /// How long a consumer waits for the next tuple of an open stream
+    /// before declaring the producer stalled or dead.
+    pub recv_timeout: Duration,
     /// Connect attempts beyond the first.
     pub max_retries: u32,
     /// Backoff before retry `n` is `base_backoff << n`, so the default
     /// schedule is 25 ms, 50 ms, 100 ms, 200 ms.
     pub base_backoff: Duration,
+    /// Upper bound on a single retry backoff, however many attempts the
+    /// schedule doubles through.
+    pub max_backoff: Duration,
     /// Structured event log for connection retries and flow-control
     /// stalls (`None` → not logged).
     pub events: Option<Arc<EventLog>>,
@@ -35,8 +41,10 @@ impl Default for NetConfig {
             connect_timeout: Duration::from_secs(1),
             read_timeout: Duration::from_millis(100),
             send_timeout: Duration::from_secs(5),
+            recv_timeout: Duration::from_secs(10),
             max_retries: 4,
             base_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_secs(2),
             events: None,
         }
     }
@@ -50,11 +58,23 @@ impl NetConfig {
             connect_timeout: Duration::from_millis(200),
             read_timeout: Duration::from_millis(20),
             send_timeout: Duration::from_millis(300),
+            recv_timeout: Duration::from_millis(500),
             max_retries: 2,
             base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(40),
             events: None,
         }
     }
+}
+
+/// Backoff before retry `attempt` (1-based): `base_backoff << (attempt-1)`,
+/// with the shift saturated and the product capped at `cfg.max_backoff`.
+/// The naive `base * (1 << (attempt - 1))` overflowed the shift for
+/// `attempt ≥ 33` — a debug-build panic, and a wrap to a near-zero backoff
+/// in release — and grew without bound below that.
+fn backoff_for_attempt(cfg: &NetConfig, attempt: u32) -> Duration {
+    let exp = attempt.saturating_sub(1).min(16);
+    cfg.base_backoff.saturating_mul(1u32 << exp).min(cfg.max_backoff)
 }
 
 /// Applies the socket defaults every Paradise connection uses: bounded
@@ -81,7 +101,13 @@ pub fn connect_with_retry(addr: SocketAddr, cfg: &NetConfig) -> Result<TcpStream
                     &[("addr", addr.to_string().into()), ("attempt", u64::from(attempt).into())],
                 );
             }
-            std::thread::sleep(cfg.base_backoff * (1 << (attempt - 1)));
+            std::thread::sleep(backoff_for_attempt(cfg, attempt));
+        }
+        // `net.connect` injects per-attempt connection failures (a data
+        // server that is down, partitioned, or still binding).
+        if let Err(msg) = paradise_util::failpoint::check("net.connect") {
+            last_err = Some(std::io::Error::other(format!("injected fault: {msg}")));
+            continue;
         }
         match TcpStream::connect_timeout(&addr, cfg.connect_timeout) {
             Ok(conn) => {
@@ -131,6 +157,28 @@ mod tests {
         let conn = connect_with_retry(addr, &cfg);
         spawn.join().unwrap();
         assert!(conn.is_ok(), "{:?}", conn.err().map(|e| e.to_string()));
+    }
+
+    /// Regression (conn.rs:84 bug): the retry backoff used
+    /// `base_backoff * (1 << (attempt - 1))`, which overflows the shift at
+    /// `attempt ≥ 33` (debug panic / release wrap to ~zero backoff) and
+    /// was uncapped below that. The fixed schedule saturates and caps.
+    #[test]
+    fn backoff_saturates_shift_and_caps_at_max() {
+        let cfg = NetConfig {
+            base_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_millis(500),
+            ..NetConfig::default()
+        };
+        assert_eq!(backoff_for_attempt(&cfg, 1), Duration::from_millis(25));
+        assert_eq!(backoff_for_attempt(&cfg, 2), Duration::from_millis(50));
+        assert_eq!(backoff_for_attempt(&cfg, 5), Duration::from_millis(400));
+        // Beyond the cap the schedule is flat.
+        assert_eq!(backoff_for_attempt(&cfg, 6), Duration::from_millis(500));
+        // Attempts that used to overflow the shift stay at the cap.
+        for attempt in [32, 33, 64, 1000, u32::MAX] {
+            assert_eq!(backoff_for_attempt(&cfg, attempt), Duration::from_millis(500));
+        }
     }
 
     #[test]

@@ -234,14 +234,31 @@ impl Frame {
 }
 
 /// Writes one frame. Returns the number of bytes put on the wire.
+///
+/// The `net.write_frame` failpoint injects wire faults here: `error`
+/// aborts the write (a reset connection), `drop` reports success without
+/// touching the wire (a lost frame), `corrupt` flips the last body byte
+/// before sending (a damaged frame the peer must reject cleanly).
 pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<usize> {
-    let bytes = frame.to_bytes();
+    let mut bytes = frame.to_bytes();
+    match paradise_util::failpoint::trigger("net.write_frame") {
+        None => {}
+        Some(paradise_util::failpoint::Trigger::Error(msg)) => {
+            return Err(ExecError::Other(format!("net write: injected fault: {msg}")))
+        }
+        Some(paradise_util::failpoint::Trigger::Drop) => return Ok(bytes.len()),
+        Some(paradise_util::failpoint::Trigger::Corrupt) => {
+            let last = bytes.len() - 1;
+            bytes[last] ^= 0xA5;
+        }
+    }
     w.write_all(&bytes).map_err(|e| io_err("write", e))?;
     w.flush().map_err(|e| io_err("flush", e))?;
     Ok(bytes.len())
 }
 
 /// Outcome of a read attempt that tolerates read-timeouts between frames.
+#[derive(Debug)]
 pub enum ReadOutcome {
     /// A complete frame.
     Frame(Frame),
@@ -299,7 +316,21 @@ fn read_exact_idle(r: &mut impl Read, buf: &mut [u8], mut started: bool) -> Resu
 
 /// Reads one frame, distinguishing idle timeouts and clean closes from
 /// protocol errors.
+///
+/// The `net.read_frame` failpoint injects receive faults: `error` fails
+/// the read (a reset connection), `drop` reports the connection closed,
+/// `corrupt` flips the last body byte of the received frame before
+/// decoding.
 pub fn read_frame(r: &mut impl Read) -> Result<ReadOutcome> {
+    let mut corrupt = false;
+    match paradise_util::failpoint::trigger("net.read_frame") {
+        None => {}
+        Some(paradise_util::failpoint::Trigger::Error(msg)) => {
+            return Err(ExecError::Other(format!("net read: injected fault: {msg}")))
+        }
+        Some(paradise_util::failpoint::Trigger::Drop) => return Ok(ReadOutcome::Closed),
+        Some(paradise_util::failpoint::Trigger::Corrupt) => corrupt = true,
+    }
     let mut header = [0u8; 4];
     match read_exact_idle(r, &mut header, false)? {
         None => return Ok(ReadOutcome::Closed),
@@ -312,7 +343,13 @@ pub fn read_frame(r: &mut impl Read) -> Result<ReadOutcome> {
     }
     let mut body = vec![0u8; len];
     match read_exact_idle(r, &mut body, true)? {
-        Some(true) => Frame::from_body(&body).map(ReadOutcome::Frame),
+        Some(true) => {
+            if corrupt {
+                let last = body.len() - 1;
+                body[last] ^= 0xA5;
+            }
+            Frame::from_body(&body).map(ReadOutcome::Frame)
+        }
         _ => Err(ExecError::Other("net read: connection closed mid-frame".into())),
     }
 }

@@ -193,7 +193,14 @@ fn serve_stream(
     loop {
         match read_frame(&mut conn) {
             Ok(ReadOutcome::Frame(Frame::Tuple(bytes))) => match Tuple::decode(&bytes) {
-                Ok(t) => inbox.push(t),
+                Ok(t) => {
+                    if !inbox.push(t) {
+                        // Stream went terminal (receiver dropped or link
+                        // failed): stop reading; the closing socket tells
+                        // the sender.
+                        return;
+                    }
+                }
                 Err(e) => {
                     inbox.fail(&format!("tuple decode: {e}"));
                     return;

@@ -82,6 +82,14 @@ impl RemoteRx for InboxRx {
     }
 }
 
+impl Drop for InboxRx {
+    fn drop(&mut self) {
+        // A receiver dropped before EOS must release the connection
+        // reader, which may be blocked pushing into a full inbox.
+        self.inbox.close_receiver();
+    }
+}
+
 /// Reads tuple frames straight off a socket (remote-scan results),
 /// returning one credit per consumed tuple.
 struct ScanRx {
@@ -275,7 +283,7 @@ impl WireTransport for TcpTransport {
         self.ensure_up()?;
         let id = self.next_stream.fetch_add(1, Ordering::Relaxed);
         let window = window.max(1);
-        let inbox = Arc::new(Inbox::new(window));
+        let inbox = Arc::new(Inbox::with_timeout(window, self.cfg.recv_timeout));
         // Register before connecting: the server must be able to resolve
         // the stream id the moment OpenStream arrives.
         self.registry.register(id, inbox.clone());

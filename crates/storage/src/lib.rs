@@ -99,3 +99,32 @@ impl From<std::io::Error> for StorageError {
 
 /// Result alias for storage operations.
 pub type Result<T> = std::result::Result<T, StorageError>;
+
+/// Evaluates the failpoint at `site` (see `paradise_util::failpoint`),
+/// mapped onto storage semantics: `Ok(true)` proceed, `Ok(false)` skip
+/// the operation silently (an injected *lost write*), `Err` an injected
+/// I/O failure. Costs one relaxed atomic load when nothing is armed.
+pub(crate) fn failpoint(site: &str) -> Result<bool> {
+    match paradise_util::failpoint::check(site) {
+        Ok(proceed) => Ok(proceed),
+        Err(msg) => {
+            Err(StorageError::Io(std::io::Error::other(format!("injected fault at {site}: {msg}"))))
+        }
+    }
+}
+
+/// Makes a newly created (or renamed) file durable by fsyncing its parent
+/// directory — without this, a crash after file creation can lose the
+/// directory entry and with it the entire file, even if the file's own
+/// contents were synced.
+pub(crate) fn fsync_parent_dir(path: &std::path::Path) -> Result<()> {
+    if !failpoint("storage.fsync_dir")? {
+        return Ok(());
+    }
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::File::open(dir)?.sync_all()?;
+        }
+    }
+    Ok(())
+}

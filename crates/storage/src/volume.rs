@@ -39,8 +39,11 @@ pub struct Volume {
 }
 
 impl Volume {
-    /// Creates a new volume at `path` (truncating any existing file).
+    /// Creates a new volume at `path` (truncating any existing file). The
+    /// parent directory is fsynced so the new file's directory entry — and
+    /// with it the volume — survives a crash right after creation.
     pub fn create<P: AsRef<Path>>(path: P) -> Result<Self> {
+        let path = path.as_ref();
         let file =
             OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
         let vol = Volume {
@@ -52,6 +55,8 @@ impl Volume {
             writes: AtomicU64::new(0),
         };
         vol.write_header()?;
+        vol.file.sync_all()?;
+        crate::fsync_parent_dir(path)?;
         Ok(vol)
     }
 
@@ -111,6 +116,9 @@ impl Volume {
         if pid == 0 || pid >= self.num_pages() {
             return Err(StorageError::BadPageId(pid));
         }
+        if !crate::failpoint("volume.write_page")? {
+            return Ok(());
+        }
         self.file.write_all_at(page.bytes(), pid * PAGE_SIZE as u64)?;
         self.writes.fetch_add(1, Ordering::Relaxed);
         Ok(())
@@ -120,6 +128,9 @@ impl Volume {
     pub fn write_page_bytes(&self, pid: PageId, bytes: &[u8; PAGE_SIZE]) -> Result<()> {
         if pid == 0 || pid >= self.num_pages() {
             return Err(StorageError::BadPageId(pid));
+        }
+        if !crate::failpoint("volume.write_page_bytes")? {
+            return Ok(());
         }
         self.file.write_all_at(bytes, pid * PAGE_SIZE as u64)?;
         self.writes.fetch_add(1, Ordering::Relaxed);
@@ -167,6 +178,9 @@ impl Volume {
 
     /// Forces all file contents to stable storage.
     pub fn sync(&self) -> Result<()> {
+        if !crate::failpoint("volume.sync")? {
+            return Ok(());
+        }
         self.file.sync_data()?;
         Ok(())
     }

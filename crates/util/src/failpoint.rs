@@ -1,0 +1,479 @@
+//! Deterministic fault injection ("failpoints").
+//!
+//! A failpoint is a *named site* compiled into production code —
+//! `failpoint::trigger("wal.commit_point")` — that normally does nothing
+//! and costs exactly one relaxed atomic load. Tests (or the
+//! `PARADISE_FAILPOINTS` environment variable) *arm* a site with a
+//! [`Policy`]: fail with an error, fail once, fail after the first `n`
+//! passes, delay, drop the operation, or corrupt its payload. This turns
+//! "what happens if the WAL write dies between the page images and the
+//! commit record" from a thought experiment into a unit test.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Disarmed is free.** The fast path is a single
+//!    `AtomicU64::load(Relaxed)` of a global armed-site counter; no lock,
+//!    no map lookup, no string hash. Only when *some* site is armed does
+//!    `trigger` take the registry lock.
+//! 2. **Deterministic.** Policies are counters, not probabilities: an
+//!    `error-after(3)` site passes exactly three times and then fails
+//!    every time. Schedules compose with the deterministic test PRNG for
+//!    randomized chaos schedules.
+//! 3. **Observable.** Every fired trigger invokes the process-wide
+//!    observer hook (installed by `paradise-core`, which forwards to the
+//!    cluster `EventLog` as `failpoint.trigger` events) so chaos runs
+//!    leave an audit trail in the same JSONL stream as `flow.stall` and
+//!    `net.retry`.
+//!
+//! The registry is process-global: concurrent tests that arm sites must
+//! serialise on a shared mutex (see `tests/chaos.rs`).
+//!
+//! Env syntax: `PARADISE_FAILPOINTS="site=policy;site=policy"`, e.g.
+//! `wal.commit_point=error-once(disk died);net.write_frame=drop`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+/// Number of currently armed sites. `trigger` is a no-op unless > 0.
+static ARMED: AtomicU64 = AtomicU64::new(0);
+
+struct Site {
+    policy: Policy,
+    /// Evaluations of this site while armed (pass or fire).
+    hits: u64,
+    /// Evaluations that actually fired the action.
+    fired: u64,
+    /// Whether a one-shot policy has been spent.
+    spent: bool,
+}
+
+type Observer = Box<dyn Fn(&str, &str) + Send + Sync>;
+
+struct RegistryState {
+    sites: HashMap<String, Site>,
+    observer: Option<Observer>,
+}
+
+fn registry() -> &'static Mutex<RegistryState> {
+    static REGISTRY: OnceLock<Mutex<RegistryState>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(RegistryState { sites: HashMap::new(), observer: None }))
+}
+
+fn lock_registry() -> std::sync::MutexGuard<'static, RegistryState> {
+    registry().lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// What an armed site does when it fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// The site reports failure with this message (mapped by the host
+    /// layer into its own error type: `StorageError::Io`, `ExecError`…).
+    Error(String),
+    /// The site sleeps this long, then proceeds normally.
+    Delay(Duration),
+    /// The operation is silently skipped (a lost frame, an unsent credit).
+    Drop,
+    /// The operation proceeds but its payload is corrupted (bit flip).
+    Corrupt,
+}
+
+/// When an armed site fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// Fire on every evaluation.
+    Always,
+    /// Fire on the first evaluation only.
+    Once,
+    /// Pass `n` evaluations, then fire on every later one.
+    AfterN(u64),
+}
+
+/// A site's arming: an [`Action`] plus a [`Schedule`] deciding when the
+/// action applies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Policy {
+    /// What happens when the site fires.
+    pub action: Action,
+    /// Which evaluations fire.
+    pub schedule: Schedule,
+}
+
+impl Policy {
+    /// Fail every evaluation with `msg`.
+    pub fn error(msg: &str) -> Policy {
+        Policy { action: Action::Error(msg.to_string()), schedule: Schedule::Always }
+    }
+
+    /// Fail the first evaluation with `msg`, pass afterwards.
+    pub fn error_once(msg: &str) -> Policy {
+        Policy { action: Action::Error(msg.to_string()), schedule: Schedule::Once }
+    }
+
+    /// Pass `n` evaluations, then fail every later one with `msg`.
+    pub fn error_after(n: u64, msg: &str) -> Policy {
+        Policy { action: Action::Error(msg.to_string()), schedule: Schedule::AfterN(n) }
+    }
+
+    /// Sleep `d` on every evaluation, then proceed.
+    pub fn delay(d: Duration) -> Policy {
+        Policy { action: Action::Delay(d), schedule: Schedule::Always }
+    }
+
+    /// Silently skip the operation on every evaluation.
+    pub fn drop_op() -> Policy {
+        Policy { action: Action::Drop, schedule: Schedule::Always }
+    }
+
+    /// Corrupt the operation's payload on every evaluation.
+    pub fn corrupt() -> Policy {
+        Policy { action: Action::Corrupt, schedule: Schedule::Always }
+    }
+
+    /// Parses the env-var policy syntax:
+    /// `error(msg)` | `error-once(msg)` | `error-after(N,msg)` |
+    /// `delay(MS)` | `drop` | `corrupt`. A bare `error` / `error-once`
+    /// uses the message `"injected fault"`.
+    pub fn parse(spec: &str) -> std::result::Result<Policy, String> {
+        let spec = spec.trim();
+        let (head, arg) = match spec.find('(') {
+            Some(i) => {
+                let Some(stripped) = spec[i..].strip_prefix('(').and_then(|s| s.strip_suffix(')'))
+                else {
+                    return Err(format!("failpoint policy `{spec}`: unbalanced parentheses"));
+                };
+                (&spec[..i], Some(stripped))
+            }
+            None => (spec, None),
+        };
+        let msg = |a: Option<&str>| a.unwrap_or("injected fault").to_string();
+        match head {
+            "error" => Ok(Policy { action: Action::Error(msg(arg)), schedule: Schedule::Always }),
+            "error-once" => {
+                Ok(Policy { action: Action::Error(msg(arg)), schedule: Schedule::Once })
+            }
+            "error-after" => {
+                let arg = arg.ok_or_else(|| "error-after needs (N) or (N,msg)".to_string())?;
+                let (n, m) = match arg.split_once(',') {
+                    Some((n, m)) => (n, m.to_string()),
+                    None => (arg, "injected fault".to_string()),
+                };
+                let n: u64 = n
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("error-after: bad count `{n}` in `{spec}`"))?;
+                Ok(Policy { action: Action::Error(m), schedule: Schedule::AfterN(n) })
+            }
+            "delay" => {
+                let ms: u64 = arg
+                    .ok_or_else(|| "delay needs (MS)".to_string())?
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("delay: bad millis in `{spec}`"))?;
+                Ok(Policy::delay(Duration::from_millis(ms)))
+            }
+            "drop" => Ok(Policy::drop_op()),
+            "corrupt" => Ok(Policy::corrupt()),
+            other => Err(format!("unknown failpoint policy `{other}`")),
+        }
+    }
+}
+
+/// What a fired site asks its host code to do. `Delay` never reaches the
+/// caller — `trigger` sleeps internally and reports a pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Trigger {
+    /// Abort the operation with this message.
+    Error(String),
+    /// Silently skip the operation.
+    Drop,
+    /// Proceed, but corrupt the payload.
+    Corrupt,
+}
+
+/// Arms `site` with `policy`. Re-arming an armed site replaces its policy
+/// and resets its counters.
+pub fn arm(site: &str, policy: Policy) {
+    let mut reg = lock_registry();
+    let prev = reg.sites.insert(site.to_string(), Site { policy, hits: 0, fired: 0, spent: false });
+    if prev.is_none() {
+        ARMED.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Disarms `site`; its `trigger` calls go back to the one-load fast path.
+pub fn disarm(site: &str) {
+    let mut reg = lock_registry();
+    if reg.sites.remove(site).is_some() {
+        ARMED.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Disarms every site.
+pub fn disarm_all() {
+    let mut reg = lock_registry();
+    let n = reg.sites.len() as u64;
+    reg.sites.clear();
+    ARMED.fetch_sub(n, Ordering::Relaxed);
+}
+
+/// Arms `site` and returns a guard that disarms it on drop, so a
+/// panicking test cannot leak an armed site into the next one.
+pub fn armed(site: &str, policy: Policy) -> ArmedGuard {
+    arm(site, policy);
+    ArmedGuard { site: site.to_string() }
+}
+
+/// RAII guard from [`armed`]: disarms its site when dropped.
+pub struct ArmedGuard {
+    site: String,
+}
+
+impl Drop for ArmedGuard {
+    fn drop(&mut self) {
+        disarm(&self.site);
+    }
+}
+
+/// Evaluations of `site` (pass or fire) since it was last armed.
+pub fn hits(site: &str) -> u64 {
+    lock_registry().sites.get(site).map_or(0, |s| s.hits)
+}
+
+/// Evaluations of `site` that fired its action since it was last armed.
+pub fn fired(site: &str) -> u64 {
+    lock_registry().sites.get(site).map_or(0, |s| s.fired)
+}
+
+/// Installs the process-wide trigger observer, called as
+/// `observer(site, action)` for every fired trigger. `paradise-core`
+/// installs a forwarder into the cluster `EventLog`; the last installed
+/// observer wins.
+pub fn set_observer(f: impl Fn(&str, &str) + Send + Sync + 'static) {
+    lock_registry().observer = Some(Box::new(f));
+}
+
+/// Arms every site listed in the `PARADISE_FAILPOINTS` environment
+/// variable (`site=policy;site=policy`). Returns the number of sites
+/// armed; unset or empty means zero. Malformed entries are an error —
+/// a chaos run with a typo'd schedule must not silently test nothing.
+pub fn arm_from_env() -> std::result::Result<usize, String> {
+    let Ok(spec) = std::env::var("PARADISE_FAILPOINTS") else { return Ok(0) };
+    arm_from_spec(&spec)
+}
+
+/// Arms every `site=policy` entry in `spec` (the `PARADISE_FAILPOINTS`
+/// syntax). Returns the number of sites armed.
+pub fn arm_from_spec(spec: &str) -> std::result::Result<usize, String> {
+    let mut n = 0;
+    for entry in spec.split(';') {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (site, policy) = entry
+            .split_once('=')
+            .ok_or_else(|| format!("failpoint spec `{entry}`: expected site=policy"))?;
+        arm(site.trim(), Policy::parse(policy)?);
+        n += 1;
+    }
+    Ok(n)
+}
+
+/// Evaluates the failpoint at `site`. Returns `None` when the caller
+/// should proceed normally (site disarmed, schedule not yet firing, or a
+/// `Delay` that already slept) and `Some(trigger)` when the caller must
+/// act. Disarmed cost: one relaxed atomic load.
+#[inline]
+pub fn trigger(site: &str) -> Option<Trigger> {
+    if ARMED.load(Ordering::Relaxed) == 0 {
+        return None;
+    }
+    trigger_slow(site)
+}
+
+#[inline(never)]
+fn trigger_slow(site: &str) -> Option<Trigger> {
+    let (out, delay) = {
+        let mut reg = lock_registry();
+        let st = reg.sites.get_mut(site)?;
+        st.hits += 1;
+        let fire = match st.policy.schedule {
+            Schedule::Always => true,
+            Schedule::Once => {
+                if st.spent {
+                    false
+                } else {
+                    st.spent = true;
+                    true
+                }
+            }
+            Schedule::AfterN(n) => st.hits > n,
+        };
+        if !fire {
+            return None;
+        }
+        st.fired += 1;
+        let (out, delay, label) = match &st.policy.action {
+            Action::Error(msg) => (Some(Trigger::Error(msg.clone())), None, "error"),
+            Action::Delay(d) => (None, Some(*d), "delay"),
+            Action::Drop => (Some(Trigger::Drop), None, "drop"),
+            Action::Corrupt => (Some(Trigger::Corrupt), None, "corrupt"),
+        };
+        if let Some(obs) = &reg.observer {
+            obs(site, label);
+        }
+        (out, delay)
+    };
+    if let Some(d) = delay {
+        std::thread::sleep(d);
+    }
+    out
+}
+
+/// Shorthand for the commonest host-side pattern: returns `Err(msg)` if
+/// the site fires an `Error`, `Ok(false)` if it fires a `Drop` (caller
+/// skips the operation and pretends success), and `Ok(true)` to proceed.
+/// `Corrupt` is reported as proceed — sites that cannot corrupt their
+/// payload treat it as a pass.
+pub fn check(site: &str) -> std::result::Result<bool, String> {
+    match trigger(site) {
+        None | Some(Trigger::Corrupt) => Ok(true),
+        Some(Trigger::Drop) => Ok(false),
+        Some(Trigger::Error(msg)) => Err(msg),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    // The registry is process-global; unit tests here serialise on one
+    // mutex so arming in one test never leaks into another mid-flight.
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        static M: OnceLock<Mutex<()>> = OnceLock::new();
+        M.get_or_init(|| Mutex::new(())).lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disarmed_site_is_silent() {
+        let _g = guard();
+        disarm_all();
+        assert_eq!(trigger("nothing.armed"), None);
+        assert_eq!(hits("nothing.armed"), 0);
+    }
+
+    #[test]
+    fn error_once_fires_exactly_once() {
+        let _g = guard();
+        disarm_all();
+        let _fp = armed("t.once", Policy::error_once("boom"));
+        assert_eq!(trigger("t.once"), Some(Trigger::Error("boom".into())));
+        assert_eq!(trigger("t.once"), None);
+        assert_eq!(trigger("t.once"), None);
+        assert_eq!(hits("t.once"), 3);
+        assert_eq!(fired("t.once"), 1);
+    }
+
+    #[test]
+    fn error_after_n_passes_then_fires() {
+        let _g = guard();
+        disarm_all();
+        let _fp = armed("t.after", Policy::error_after(2, "late"));
+        assert_eq!(trigger("t.after"), None);
+        assert_eq!(trigger("t.after"), None);
+        assert_eq!(trigger("t.after"), Some(Trigger::Error("late".into())));
+        assert_eq!(trigger("t.after"), Some(Trigger::Error("late".into())));
+    }
+
+    #[test]
+    fn delay_sleeps_then_passes() {
+        let _g = guard();
+        disarm_all();
+        let _fp = armed("t.delay", Policy::delay(Duration::from_millis(30)));
+        let t0 = std::time::Instant::now();
+        assert_eq!(trigger("t.delay"), None);
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn guard_disarms_on_drop() {
+        let _g = guard();
+        disarm_all();
+        {
+            let _fp = armed("t.guard", Policy::drop_op());
+            assert_eq!(trigger("t.guard"), Some(Trigger::Drop));
+        }
+        assert_eq!(trigger("t.guard"), None);
+    }
+
+    #[test]
+    fn env_spec_parses_every_policy_form() {
+        let _g = guard();
+        disarm_all();
+        let n = arm_from_spec(
+            "a=error(dead); b=error-once; c=error-after(2,slow death); d=delay(5); e=drop; f=corrupt",
+        )
+        .unwrap();
+        assert_eq!(n, 6);
+        assert_eq!(trigger("a"), Some(Trigger::Error("dead".into())));
+        assert_eq!(trigger("b"), Some(Trigger::Error("injected fault".into())));
+        assert_eq!(trigger("c"), None);
+        assert_eq!(trigger("c"), None);
+        assert_eq!(trigger("c"), Some(Trigger::Error("slow death".into())));
+        assert_eq!(trigger("d"), None);
+        assert_eq!(trigger("e"), Some(Trigger::Drop));
+        assert_eq!(trigger("f"), Some(Trigger::Corrupt));
+        disarm_all();
+        assert_eq!(trigger("a"), None);
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        let _g = guard();
+        disarm_all();
+        assert!(arm_from_spec("nosign").is_err());
+        assert!(arm_from_spec("x=explode").is_err());
+        assert!(arm_from_spec("x=delay(abc)").is_err());
+        assert!(arm_from_spec("x=error(unbalanced").is_err());
+        assert!(arm_from_spec("x=error-after(,msg)").is_err());
+        disarm_all();
+    }
+
+    #[test]
+    fn observer_sees_fired_triggers_only() {
+        let _g = guard();
+        disarm_all();
+        let seen = std::sync::Arc::new(Mutex::new(Vec::new()));
+        let s2 = seen.clone();
+        set_observer(move |site, action| {
+            s2.lock().unwrap().push(format!("{site}:{action}"));
+        });
+        let _fp = armed("t.obs", Policy::error_after(1, "x"));
+        let _ = trigger("t.obs"); // pass — not observed
+        let _ = trigger("t.obs"); // fire
+        assert_eq!(*seen.lock().unwrap(), vec!["t.obs:error".to_string()]);
+        lock_registry().observer = None;
+    }
+
+    #[test]
+    fn check_maps_actions_to_host_pattern() {
+        let _g = guard();
+        disarm_all();
+        {
+            let _fp = armed("t.check", Policy::error("nope"));
+            assert_eq!(check("t.check"), Err("nope".to_string()));
+        }
+        {
+            let _fp = armed("t.check", Policy::drop_op());
+            assert_eq!(check("t.check"), Ok(false));
+        }
+        {
+            let _fp = armed("t.check", Policy::corrupt());
+            assert_eq!(check("t.check"), Ok(true));
+        }
+        assert_eq!(check("t.check"), Ok(true));
+    }
+}

@@ -9,6 +9,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod failpoint;
 pub mod rng;
 pub mod sync;
 

@@ -13,6 +13,13 @@
 //! non-zero if the profile comes back empty or the scrape is missing the
 //! node-labelled wire counters, so CI can use this as a smoke test of the
 //! whole observability pipeline.
+//!
+//! With `PARADISE_FAILPOINTS` set (e.g.
+//! `PARADISE_FAILPOINTS='net.connect=error(ds down)'`) the example turns
+//! into the chaos smoke instead: it arms the spec *after* the load, runs
+//! Q6 under the fault schedule, and exits non-zero unless the query
+//! either succeeded or failed cleanly in bounded time with a `failpoint`
+//! audit trail in `explain_analyze.events.jsonl`.
 
 use paradise::{Paradise, ParadiseConfig, QueryResult};
 use paradise_datagen::tables::{
@@ -25,6 +32,52 @@ const US: &str = "Polygon(-125, 25, -67, 25, -67, 49, -125, 49)";
 
 fn plan_lines(r: &QueryResult) -> Vec<String> {
     r.rows.iter().map(|t| t.get(0).unwrap().as_str().unwrap().to_string()).collect()
+}
+
+/// CI's fault-injection smoke: run one Sequoia query under the env-armed
+/// schedule and prove "clean error or correct answer, with an audit
+/// trail" — never a hang, never a silent nothing.
+fn chaos_smoke(db: &Paradise) {
+    let events_path = PathBuf::from("explain_analyze.events.jsonl");
+    db.cluster().events().attach_file(&events_path).expect("attach events file");
+    let armed = paradise_util::failpoint::arm_from_env().expect("valid PARADISE_FAILPOINTS");
+    println!("chaos smoke: {armed} failpoint(s) armed from PARADISE_FAILPOINTS");
+
+    let t0 = std::time::Instant::now();
+    let out = db.sql(&format!("select * from landCover where shape overlaps {US}"));
+    let elapsed = t0.elapsed();
+    paradise_util::failpoint::disarm_all();
+    match &out {
+        Ok(r) => println!("query survived the schedule: {} rows in {elapsed:.2?}", r.rows.len()),
+        Err(e) => println!("query failed cleanly in {elapsed:.2?}: {e}"),
+    }
+    if elapsed > std::time::Duration::from_secs(60) {
+        eprintln!("query wedged under the fault schedule ({elapsed:?})");
+        std::process::exit(1);
+    }
+
+    // The audit trail: every trigger is a `failpoint` event, and a failed
+    // query must also have logged `query.error`.
+    let log = std::fs::read_to_string(&events_path).expect("events file");
+    let has = |kind: &str| log.lines().any(|l| l.contains(&format!("\"event\":\"{kind}\"")));
+    if !has("failpoint") {
+        eprintln!("no failpoint events in {} — did the schedule fire?", events_path.display());
+        std::process::exit(1);
+    }
+    if out.is_err() && !has("query.error") {
+        eprintln!("query failed but no query.error event was logged");
+        std::process::exit(1);
+    }
+    // Sanity-check the plane disarms: the same query must now be exact.
+    db.sql(&format!("select * from landCover where shape overlaps {US}")).expect("after disarm");
+    println!(
+        "wrote {} ({} events: failpoint={} net.retry={} flow.stall={})",
+        events_path.display(),
+        log.lines().count(),
+        log.lines().filter(|l| l.contains("\"event\":\"failpoint\"")).count(),
+        log.lines().filter(|l| l.contains("\"event\":\"net.retry\"")).count(),
+        log.lines().filter(|l| l.contains("\"event\":\"flow.stall\"")).count(),
+    );
 }
 
 fn main() {
@@ -50,6 +103,13 @@ fn main() {
     db.load_table("landCover", world.land_cover.iter().cloned()).expect("load landCover");
     db.create_rtree_index("landCover", 2).expect("landCover rtree");
     db.commit().expect("commit");
+
+    // Chaos smoke: arm the env spec only after the load is durable, so
+    // the injected faults hit query execution, not table building.
+    if std::env::var("PARADISE_FAILPOINTS").is_ok() {
+        chaos_smoke(&db);
+        return;
+    }
 
     let mut annotated = 0;
     for (name, sql) in [

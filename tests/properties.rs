@@ -285,3 +285,136 @@ fn truncated_frame_bodies_fail_closed() {
     // Unknown tags are rejected.
     assert!(Frame::from_body(&[42]).is_err());
 }
+
+/// `lzw::decompress` fails closed: arbitrary streams and bit-flipped
+/// valid streams return `Ok` or `Err` — never a panic, never a runaway
+/// allocation loop.
+#[test]
+fn lzw_decompress_fails_closed_on_garbage() {
+    let mut rng = Rng::seed_from_u64(13);
+    for _ in 0..128 {
+        let n = rng.gen_range(0usize..2048);
+        let junk = rng.bytes(n);
+        let _ = lzw::decompress(&junk); // must return, Ok or Err
+    }
+    for _ in 0..64 {
+        let n = rng.gen_range(1usize..1024);
+        let mut packed = lzw::compress(&rng.bytes(n));
+        if packed.is_empty() {
+            continue;
+        }
+        // One flipped bit, one truncation.
+        let at = rng.index(packed.len());
+        packed[at] ^= 1 << rng.index(8);
+        let _ = lzw::decompress(&packed);
+        let cut = rng.index(packed.len());
+        let _ = lzw::decompress(&packed[..cut]);
+    }
+}
+
+/// `read_frame` fails closed on a hostile byte stream: arbitrary bytes,
+/// truncated frames, and bit-flipped frames all produce `Ok` or `Err` in
+/// bounded time — never a panic, hang, or huge allocation (the length
+/// prefix is capped before any buffer is sized).
+#[test]
+fn read_frame_fails_closed_on_hostile_streams() {
+    use paradise::net::frame::{read_frame, Frame};
+    use std::io::Cursor;
+    let mut rng = Rng::seed_from_u64(14);
+    for _ in 0..128 {
+        let n = rng.gen_range(0usize..512);
+        let _ = read_frame(&mut Cursor::new(rng.bytes(n)));
+    }
+    // An absurd length prefix is rejected without allocating it.
+    let mut huge = u32::MAX.to_le_bytes().to_vec();
+    huge.extend_from_slice(&[0u8; 16]);
+    assert!(read_frame(&mut Cursor::new(huge)).is_err(), "oversized frame must be rejected");
+    for _ in 0..64 {
+        let bytes = random_frame(&mut rng).to_bytes();
+        // Bit flip anywhere in the wire image (length prefix included).
+        let mut flipped = bytes.clone();
+        let at = rng.index(flipped.len());
+        flipped[at] ^= 1 << rng.index(8);
+        let _ = read_frame(&mut Cursor::new(flipped));
+        // Truncation mid-frame.
+        let cut = rng.index(bytes.len());
+        let _ = read_frame(&mut Cursor::new(bytes[..cut].to_vec()));
+    }
+    // A clean frame still decodes after surviving all of the above.
+    let f = Frame::Credit(7);
+    match read_frame(&mut Cursor::new(f.to_bytes())).unwrap() {
+        paradise::net::frame::ReadOutcome::Frame(g) => assert_eq!(g, f),
+        other => panic!("expected frame, got {other:?}"),
+    }
+}
+
+/// `Wal::replay` fails closed: a WAL file holding arbitrary bytes, a torn
+/// tail, or a bit-flipped record replays to `Ok` (discarding the garbage
+/// as an uncommitted tail) or a clean `Err` — never a panic — and never
+/// applies an uncommitted batch.
+#[test]
+fn wal_replay_fails_closed_on_corrupt_logs() {
+    use paradise_storage::{page::PAGE_SIZE, volume::Volume, wal::Wal};
+    use std::io::Write as _;
+    let mut rng = Rng::seed_from_u64(15);
+    let dir = std::env::temp_dir().join(format!("paradise-prop-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let vol = Volume::create(dir.join("vol")).unwrap();
+    let pid = vol.alloc_extent().unwrap();
+    let baseline = [0x5A; PAGE_SIZE];
+    vol.write_page_bytes(pid, &baseline).unwrap();
+
+    for case in 0..96 {
+        let path = dir.join(format!("wal-{case}"));
+        let mut contents = match case % 3 {
+            // Arbitrary bytes.
+            0 => {
+                let n = rng.gen_range(0usize..4096);
+                rng.bytes(n)
+            }
+            // A valid committed batch, then bit-flip one byte.
+            1 => {
+                let w = Wal::open(&path).unwrap();
+                w.log_commit(&[(pid, &[case as u8; PAGE_SIZE])]).unwrap();
+                let mut b = std::fs::read(&path).unwrap();
+                let at = rng.index(b.len());
+                b[at] ^= 1 << rng.index(8);
+                b
+            }
+            // A valid batch with a torn (truncated) tail.
+            _ => {
+                let w = Wal::open(&path).unwrap();
+                w.log_commit(&[(pid, &[case as u8; PAGE_SIZE])]).unwrap();
+                let b = std::fs::read(&path).unwrap();
+                let keep = rng.gen_range(0usize..b.len());
+                b[..keep].to_vec()
+            }
+        };
+        // Torn tails must never replay: whatever survives decoding either
+        // carries its commit record or is discarded.
+        if case % 3 == 2 {
+            // Guarantee the tail is torn before the commit record.
+            contents.truncate(contents.len().saturating_sub(13).min(contents.len()));
+        }
+        std::fs::remove_file(&path).ok();
+        let mut f = std::fs::File::create(&path).unwrap();
+        f.write_all(&contents).unwrap();
+        drop(f);
+        let wal = Wal::open(&path).unwrap();
+        match wal.replay(&vol) {
+            Ok(_) | Err(_) => {} // fail closed: returning at all is the property
+        }
+        if case % 3 == 2 {
+            // The torn batch never committed, so the page is untouched.
+            assert_eq!(
+                vol.read_page(pid).unwrap().bytes(),
+                &baseline,
+                "case {case}: torn tail must not replay"
+            );
+        } else {
+            // Restore the baseline in case a (validly-framed) flip applied.
+            vol.write_page_bytes(pid, &baseline).unwrap();
+        }
+    }
+}
