@@ -19,7 +19,7 @@
 //!   `average()` methods the benchmark queries call.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod lzw;
 pub mod ndarray;

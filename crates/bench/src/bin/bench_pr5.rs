@@ -1,0 +1,286 @@
+//! PR 5 baseline: serial vs 4-worker timings for every morsel-parallel
+//! operator kernel, on a Sequoia-scale vector workload.
+//!
+//! Run from the repository root with
+//! `cargo run --release -p paradise-bench --bin bench_pr5`; the results
+//! land in `BENCH_PR5.json`.
+//!
+//! The container this baseline ships from has a single CPU, so a 4-thread
+//! pool cannot show wall-clock speedup. The pool's *measured* mode
+//! ([`paradise_exec::workers::PoolMode::Measured`]) therefore executes
+//! every morsel inline, times it, and list-schedules the morsels onto N
+//! virtual workers; the reported per-kernel time is the critical path
+//! (the busiest virtual worker) — the same simulated-time model
+//! `QueryMetrics::simulated_time` uses for cross-node parallelism. Real
+//! wall-clock numbers are reported alongside for transparency.
+
+use paradise_datagen::tables::{World, WorldSpec};
+use paradise_exec::cluster::{Cluster, ClusterConfig};
+use paradise_exec::ops::aggregate::{local_aggregate_with, AggRegistry};
+use paradise_exec::ops::basic::par_select;
+use paradise_exec::ops::join::hash_join_with;
+use paradise_exec::ops::spatial_join::{local_tile_join, local_tile_join_quadratic};
+use paradise_exec::value::Value;
+use paradise_exec::workers::WorkerPool;
+use paradise_exec::Tuple;
+use paradise_geom::Rect;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Shape column of `roads` / `drainage`.
+const SHAPE: usize = 2;
+/// Timed repetitions per kernel; the minimum is reported.
+const REPS: usize = 3;
+
+/// One kernel's serial-vs-parallel measurement.
+struct KernelRow {
+    name: &'static str,
+    serial: Duration,
+    four: Duration,
+    four_busy: Duration,
+    serial_wall: Duration,
+    four_wall: Duration,
+    morsels: u64,
+    rows: usize,
+}
+
+impl KernelRow {
+    /// Speedup of the 4-worker schedule over running the *same* morsel
+    /// timings serially: total morsel busy time over the critical path of
+    /// the busiest virtual worker. Comparing within one run keeps the
+    /// ratio honest (it can never exceed the worker count); run-to-run
+    /// cache variance shows up in `serial` vs `four_busy` instead.
+    fn speedup(&self) -> f64 {
+        self.four_busy.as_secs_f64() / self.four.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Times `run` under a 1-worker and a 4-worker measured pool. The
+/// 1-worker kernel time is the sum of all morsel times (the serial kernel
+/// minus orchestration); the 4-worker time is the critical path of the
+/// list-scheduled virtual workers from the rep with the lowest critical
+/// path, together with that same rep's total morsel busy time.
+fn bench_kernel(name: &'static str, run: impl Fn(Arc<WorkerPool>) -> usize) -> KernelRow {
+    let mut row = KernelRow {
+        name,
+        serial: Duration::MAX,
+        four: Duration::MAX,
+        four_busy: Duration::ZERO,
+        serial_wall: Duration::MAX,
+        four_wall: Duration::MAX,
+        morsels: 0,
+        rows: 0,
+    };
+    // One untimed warm-up pass (page cache, allocator free lists).
+    run(Arc::new(WorkerPool::measured(1)));
+    for (workers, serial_leg) in [(1usize, true), (4, false)] {
+        for _ in 0..REPS {
+            let pool = Arc::new(WorkerPool::measured(workers));
+            let before = pool.snapshot();
+            let t0 = Instant::now();
+            row.rows = run(pool.clone());
+            let elapsed = t0.elapsed();
+            let delta = pool.snapshot().since(&before);
+            row.morsels = delta.morsels;
+            if serial_leg {
+                row.serial = row.serial.min(pool.critical_path());
+                row.serial_wall = row.serial_wall.min(elapsed);
+            } else {
+                if pool.critical_path() < row.four {
+                    row.four = pool.critical_path();
+                    row.four_busy = Duration::from_nanos(delta.busy_ns);
+                }
+                row.four_wall = row.four_wall.min(elapsed);
+            }
+        }
+    }
+    println!(
+        "{name:<22} serial {:>10.3?}  4-worker {:>10.3?}  speedup {:>5.2}x  morsels {:>4}  rows {}",
+        row.serial,
+        row.four,
+        row.speedup(),
+        row.morsels,
+        row.rows
+    );
+    row
+}
+
+fn bbox_area(t: &Tuple) -> f64 {
+    let b = t.get(SHAPE).unwrap().as_shape().unwrap().bbox();
+    (b.hi.x - b.lo.x) * (b.hi.y - b.lo.y)
+}
+
+fn main() {
+    // Sequoia-scale vector data: Table 3.1 cardinalities shrunk 250×
+    // (2,800 roads / 6,960 drainage features / 2,280 polygons).
+    let shrink = 250;
+    let world = World::generate(WorldSpec::paper_ratio(42, 1, shrink));
+    let roads = world.roads.clone();
+    let drainage = world.drainage.clone();
+    println!(
+        "world: {} roads, {} drainage, {} landCover (shrink {shrink})",
+        roads.len(),
+        drainage.len(),
+        world.land_cover.len()
+    );
+
+    // A single-node cluster owning the whole 4,096-tile grid: the PBSM
+    // kernel then sees every tile bucket, exactly like one data server's
+    // share of the parallel join.
+    let mut cfg = ClusterConfig::for_test(1, "bench-pr5");
+    cfg.grid_tiles = 4096;
+    let cluster = Cluster::create(&cfg).expect("create cluster");
+
+    let mut kernels: Vec<KernelRow> = Vec::new();
+
+    // PBSM local join (plane-sweep filter + refine), the tentpole kernel.
+    kernels.push(bench_kernel("pbsm_local_join", |pool| {
+        cluster.set_workers(pool);
+        local_tile_join(&cluster, 0, &roads, SHAPE, &drainage, SHAPE).expect("join").len()
+    }));
+
+    // Grace hash join: roads self-join on `id` (1:1 matches).
+    kernels.push(bench_kernel("hash_join", |pool| {
+        hash_join_with(&pool, &roads, 0, &roads, 0, 4096).expect("hash join").len()
+    }));
+
+    // Partial aggregation: sum of bbox area per road/drainage type.
+    let agg_input: Vec<Tuple> = roads
+        .iter()
+        .chain(&drainage)
+        .map(|t| Tuple::new(vec![Value::Float(bbox_area(t)), t.get(1).unwrap().clone()]))
+        .collect();
+    let registry = AggRegistry::with_builtins();
+    let sum = registry.get("sum").expect("sum registered").clone();
+    kernels.push(bench_kernel("local_aggregate", |pool| {
+        local_aggregate_with(&pool, &agg_input, &[1], &sum).expect("aggregate").len()
+    }));
+
+    // Predicate scan: window selection over all vector features.
+    let window = Rect::from_corners(
+        paradise_geom::Point::new(-110.0, 20.0),
+        paradise_geom::Point::new(-60.0, 50.0),
+    )
+    .unwrap();
+    let scan_input: Vec<Tuple> = roads.iter().chain(&drainage).cloned().collect();
+    kernels.push(bench_kernel("predicate_scan", |pool| {
+        par_select(&pool, scan_input.clone(), |t| {
+            Ok(t.get(SHAPE)?.as_shape()?.bbox().intersection(&window).is_some())
+        })
+        .expect("scan")
+        .len()
+    }));
+
+    // LZW tile codec over AMeS-style raster tiles (32 KiB each, run
+    // patterned like classified land-cover imagery).
+    let tiles: Vec<Vec<u8>> = (0..64u8)
+        .map(|t| {
+            (0..32 * 1024)
+                .map(|i| (((i / 37) as u8).wrapping_mul(7)).wrapping_add(t) % 97)
+                .collect()
+        })
+        .collect();
+    kernels.push(bench_kernel("lzw_compress", |pool| {
+        paradise_array::lzw::maybe_compress_batch(&pool, &tiles).len()
+    }));
+    let packed = paradise_array::lzw::maybe_compress_batch(&WorkerPool::serial(), &tiles);
+    kernels.push(bench_kernel("lzw_decompress", |pool| {
+        paradise_array::lzw::maybe_decompress_batch(&pool, &packed).expect("decompress").len()
+    }));
+
+    // Ablation: the old quadratic per-tile filter vs the plane sweep
+    // (serial pools, wall clock — same outputs, different filter cost).
+    let quad_wall = (0..REPS)
+        .map(|_| {
+            cluster.set_workers(Arc::new(WorkerPool::serial()));
+            let t0 = Instant::now();
+            let n = local_tile_join_quadratic(&cluster, 0, &roads, SHAPE, &drainage, SHAPE)
+                .expect("quadratic join")
+                .len();
+            (t0.elapsed(), n)
+        })
+        .min()
+        .unwrap();
+    let sweep_wall = (0..REPS)
+        .map(|_| {
+            cluster.set_workers(Arc::new(WorkerPool::serial()));
+            let t0 = Instant::now();
+            let n = local_tile_join(&cluster, 0, &roads, SHAPE, &drainage, SHAPE)
+                .expect("sweep join")
+                .len();
+            (t0.elapsed(), n)
+        })
+        .min()
+        .unwrap();
+    assert_eq!(quad_wall.1, sweep_wall.1, "sweep and quadratic must agree");
+    println!(
+        "ablation: quadratic {:?} vs plane-sweep {:?} ({:.2}x)",
+        quad_wall.0,
+        sweep_wall.0,
+        quad_wall.0.as_secs_f64() / sweep_wall.0.as_secs_f64().max(1e-12)
+    );
+
+    // Determinism: the PBSM output must be byte-identical across pool
+    // sizes (the property the whole morsel design hangs on).
+    let mut identical = true;
+    cluster.set_workers(Arc::new(WorkerPool::new(1)));
+    let reference = local_tile_join(&cluster, 0, &roads, SHAPE, &drainage, SHAPE).unwrap();
+    for w in [2usize, 4, 7] {
+        cluster.set_workers(Arc::new(WorkerPool::new(w)));
+        identical &=
+            local_tile_join(&cluster, 0, &roads, SHAPE, &drainage, SHAPE).unwrap() == reference;
+    }
+    println!("pool-size identity: {identical}");
+
+    let pbsm = &kernels[0];
+    if pbsm.speedup() < 1.8 {
+        eprintln!("WARNING: PBSM speedup {:.2}x below the 1.8x target", pbsm.speedup());
+    }
+
+    // Hand-rolled JSON (the build is hermetic: no serde).
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"BENCH_PR5\",\n");
+    out.push_str("  \"command\": \"cargo run --release -p paradise-bench --bin bench_pr5\",\n");
+    out.push_str(&format!(
+        "  \"machine\": {{\"host_cpus\": {}, \"timing_model\": \"measured-pool critical path (virtual workers); wall clock alongside\"}},\n",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    ));
+    out.push_str(&format!(
+        "  \"workload\": {{\"spec\": \"paper_ratio seed=42 scale=1 shrink={shrink}\", \"roads\": {}, \"drainage\": {}, \"grid_tiles\": {}, \"lzw_tiles\": {}, \"lzw_tile_bytes\": {}}},\n",
+        roads.len(),
+        drainage.len(),
+        cfg.grid_tiles,
+        tiles.len(),
+        32 * 1024
+    ));
+    out.push_str("  \"kernels\": [\n");
+    for (i, k) in kernels.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"serial_s\": {:.6}, \"four_worker_s\": {:.6}, \"four_worker_busy_s\": {:.6}, \"speedup\": {:.3}, \"serial_wall_s\": {:.6}, \"four_worker_wall_s\": {:.6}, \"morsels\": {}, \"output_rows\": {}}}{}\n",
+            k.name,
+            k.serial.as_secs_f64(),
+            k.four.as_secs_f64(),
+            k.four_busy.as_secs_f64(),
+            k.speedup(),
+            k.serial_wall.as_secs_f64(),
+            k.four_wall.as_secs_f64(),
+            k.morsels,
+            k.rows,
+            if i + 1 == kernels.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"ablation\": {{\"filter\": \"pbsm tile filter\", \"quadratic_wall_s\": {:.6}, \"plane_sweep_wall_s\": {:.6}, \"speedup\": {:.3}, \"output_rows\": {}}},\n",
+        quad_wall.0.as_secs_f64(),
+        sweep_wall.0.as_secs_f64(),
+        quad_wall.0.as_secs_f64() / sweep_wall.0.as_secs_f64().max(1e-12),
+        sweep_wall.1
+    ));
+    out.push_str(&format!(
+        "  \"determinism\": {{\"pbsm_identical_across_pool_sizes\": {identical}}}\n"
+    ));
+    out.push_str("}\n");
+    std::fs::write("BENCH_PR5.json", out).expect("write BENCH_PR5.json");
+    println!("wrote BENCH_PR5.json");
+}

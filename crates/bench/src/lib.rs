@@ -3,6 +3,7 @@
 //! suite, producing the rows of the paper's Tables 3.2/3.4/3.5.
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod harness;
 

@@ -10,7 +10,8 @@
 //! | `paradise.buffer_pool`| node                   | per-node buffer/WAL counters   |
 //! | `paradise.streams`    | cluster (single row)   | QC registry stream/net counters|
 //!
-//! Per-node tables are populated through [`Cluster::node_samples`], which
+//! Per-node tables are populated through
+//! [`Cluster::node_samples`](paradise_exec::cluster::Cluster::node_samples), which
 //! under the TCP transport pulls each data server's registry over the wire
 //! (`StatsPull`/`StatsReply`) — the rows really do come from the remote
 //! endpoints, labelled `node = "0" … "N-1"`, plus `"qc"` for the

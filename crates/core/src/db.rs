@@ -62,6 +62,10 @@ pub struct ParadiseConfig {
     /// fault-injection tests override this so a dead or stalled peer
     /// surfaces as a clean per-query error within a bounded wait.
     pub net: Option<paradise_net::NetConfig>,
+    /// Intra-node worker-pool size for morsel-parallel operator kernels
+    /// ([`paradise_exec::workers`]). `0` (the default) means one worker
+    /// per available core. Results are byte-identical for every value.
+    pub workers: usize,
 }
 
 impl ParadiseConfig {
@@ -83,22 +87,63 @@ impl ParadiseConfig {
             slow_query_threshold: None,
             event_log_path: None,
             net: None,
+            workers: 0,
         }
     }
 
     /// Overrides the grid tile count.
+    ///
+    /// ```
+    /// use paradise::ParadiseConfig;
+    ///
+    /// let cfg = ParadiseConfig::new("/tmp/paradise-doc", 4).with_grid_tiles(1024);
+    /// assert_eq!(cfg.grid_tiles, 1024);
+    /// ```
     pub fn with_grid_tiles(mut self, tiles: u32) -> Self {
         self.grid_tiles = tiles;
         self
     }
 
     /// Overrides the per-node buffer-pool size.
+    ///
+    /// ```
+    /// use paradise::ParadiseConfig;
+    ///
+    /// let cfg = ParadiseConfig::new("/tmp/paradise-doc", 4).with_pool_pages(256);
+    /// assert_eq!(cfg.pool_pages, 256);
+    /// ```
     pub fn with_pool_pages(mut self, pages: usize) -> Self {
         self.pool_pages = pages;
         self
     }
 
+    /// Sets the intra-node worker-pool size for morsel-parallel kernels
+    /// (PBSM tile sweeps, hash-join partitions, partial aggregation,
+    /// predicate scans, LZW tile codecs). `0` means one worker per
+    /// available core; `1` runs every kernel as a plain serial loop.
+    /// Either way results are byte-identical — only elapsed time changes.
+    ///
+    /// ```
+    /// use paradise::ParadiseConfig;
+    ///
+    /// let cfg = ParadiseConfig::new("/tmp/paradise-doc", 4).with_workers(4);
+    /// assert_eq!(cfg.workers, 4);
+    /// // The default requests one worker per available core.
+    /// assert_eq!(ParadiseConfig::new("/tmp/paradise-doc", 4).workers, 0);
+    /// ```
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
     /// Selects the cross-node transport.
+    ///
+    /// ```
+    /// use paradise::{ParadiseConfig, TransportKind};
+    ///
+    /// let cfg = ParadiseConfig::new("/tmp/paradise-doc", 2).with_transport(TransportKind::Tcp);
+    /// assert_eq!(cfg.transport, TransportKind::Tcp);
+    /// ```
     pub fn with_transport(mut self, transport: TransportKind) -> Self {
         self.transport = transport;
         self
@@ -201,6 +246,7 @@ impl Paradise {
             universe: cfg.universe,
             base_dir: cfg.base_dir,
             pull_cost: cfg.pull_cost,
+            workers: cfg.workers,
         })?;
         if let Some(path) = &cfg.event_log_path {
             cluster

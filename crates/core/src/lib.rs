@@ -26,7 +26,7 @@
 //! SQL via [`Paradise::sql`].
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod catalog;
 pub mod db;

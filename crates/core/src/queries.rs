@@ -384,22 +384,29 @@ pub fn q7(db: &Paradise, center: Point, radius: f64, max_area: f64) -> Result<Qu
     let lc = db.table("landCover")?;
     let circle = Circle::new(center, radius).map_err(ExecError::Geom)?;
     let bbox = circle.bbox();
+    // The index probe is cheap; the exact within-circle refinement per
+    // candidate is the hot loop, so it runs as tuple morsels on the worker
+    // pool (outputs merge in candidate order — deterministic).
+    let pool = db.cluster().workers();
     let per_node = run_phase(db.cluster(), &mut m, "circle selection", |node| {
         let idx = lc.rtree_index(db.cluster(), node, LC_SHAPE)?;
-        let mut rows = Vec::new();
-        for (rect, packed) in idx.search(&bbox) {
-            if !owns_ref_point(db, node, &rect, &bbox) {
-                continue;
+        let candidates = idx.search(&bbox);
+        pool.map_chunks(&candidates, paradise_exec::workers::TUPLE_MORSEL, |chunk| {
+            let mut rows = Vec::new();
+            for (rect, packed) in chunk {
+                if !owns_ref_point(db, node, rect, &bbox) {
+                    continue;
+                }
+                let t = lc.read_tuple(db.cluster(), node, unpack_oid(*packed))?;
+                let Shape::Polygon(poly) = t.get(LC_SHAPE)?.as_shape()? else {
+                    continue;
+                };
+                if poly.within_circle(&circle) && poly.area() < max_area {
+                    rows.push(Tuple::new(vec![Value::Float(poly.area()), t.get(LC_TYPE)?.clone()]));
+                }
             }
-            let t = lc.read_tuple(db.cluster(), node, unpack_oid(packed))?;
-            let Shape::Polygon(poly) = t.get(LC_SHAPE)?.as_shape()? else {
-                continue;
-            };
-            if poly.within_circle(&circle) && poly.area() < max_area {
-                rows.push(Tuple::new(vec![Value::Float(poly.area()), t.get(LC_TYPE)?.clone()]));
-            }
-        }
-        Ok(rows)
+            Ok(rows)
+        })
     })?;
     let rows = collect_rows(db, per_node)?;
     Ok(finish(db, net0, m, &["area", "type"], rows, t0))

@@ -727,6 +727,9 @@ fn explain_analyze(db: &Paradise, plan: &Plan) -> Result<QueryResult> {
                     ann.push(format!("rows={rows}"));
                 }
                 ann.push(format!("busy={:.2?}", p.critical()));
+                if p.morsels > 0 {
+                    ann.push(format!("morsels={}", p.morsels));
+                }
                 if p.net.bytes > 0 {
                     ann.push(format!("net={:.1}KB", p.net.bytes as f64 / 1024.0));
                 }
@@ -853,33 +856,34 @@ fn find_closest_point(stmt: &SelectStmt) -> Option<Result<Point>> {
 }
 
 /// The generic parallel plan: per-node scan, scalar predicate, projection.
+/// The predicate + projection run as tuple morsels on the worker pool
+/// ([`paradise_exec::workers`]); morsel-order merging keeps the output
+/// identical to the streaming scan for every worker count.
 fn generic_scan(db: &Paradise, stmt: &SelectStmt) -> Result<QueryResult> {
     let t0 = std::time::Instant::now();
     let table = db.table(&stmt.tables[0])?;
     let schema = table.schema.clone();
     let mut m = QueryMetrics::default();
+    let pool = db.cluster().workers();
     let per_node = run_phase(db.cluster(), &mut m, "scan + filter + project", |node| {
-        let mut rows = Vec::new();
-        table.scan_fragment(db.cluster(), node, |_, t| {
+        let frag = table.fragment_tuples(db.cluster(), node)?;
+        paradise_exec::ops::basic::par_project(&pool, &frag, |t| {
             let keep = match &stmt.where_clause {
-                Some(w) => eval_predicate(w, &t, &schema)?,
+                Some(w) => eval_predicate(w, t, &schema)?,
                 None => true,
             };
             if !keep {
-                return Ok(());
+                return Ok(None);
             }
-            let out = match &stmt.projection {
-                Projection::Star => t,
+            Ok(Some(match &stmt.projection {
+                Projection::Star => t.clone(),
                 Projection::Exprs(exprs) => {
                     let vals: Vec<Value> =
-                        exprs.iter().map(|e| eval_expr(e, &t, &schema)).collect::<Result<_>>()?;
+                        exprs.iter().map(|e| eval_expr(e, t, &schema)).collect::<Result<_>>()?;
                     Tuple::new(vals)
                 }
-            };
-            rows.push(out);
-            Ok(())
-        })?;
-        Ok(rows)
+            }))
+        })
     })?;
     let mut rows: Vec<Tuple> = per_node.into_iter().flatten().collect();
     if let Some(order) = &stmt.order_by {

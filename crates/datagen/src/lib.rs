@@ -19,7 +19,7 @@
 //! Everything is seeded and deterministic.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod scaleup;
 pub mod tables;

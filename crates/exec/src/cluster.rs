@@ -91,6 +91,9 @@ pub struct ClusterConfig {
     /// operation because each pull requires that a separate operator be
     /// started on the remote node" plus the extra random disk seeks.
     pub pull_cost: std::time::Duration,
+    /// Intra-node worker-pool size for morsel-parallel kernels
+    /// ([`crate::workers`]). `0` means one worker per available core.
+    pub workers: usize,
 }
 
 impl ClusterConfig {
@@ -111,6 +114,7 @@ impl ClusterConfig {
                 .expect("valid universe"),
             base_dir,
             pull_cost: std::time::Duration::from_micros(5),
+            workers: 0,
         }
     }
 }
@@ -201,6 +205,9 @@ pub struct Cluster {
     /// starts). Disabled by default.
     events: Arc<EventLog>,
     streams_opened: Counter,
+    /// Intra-node worker pool for morsel-parallel kernels
+    /// ([`crate::workers`]), shared by every node in the simulated cluster.
+    workers: Arc<crate::workers::PoolHandle>,
 }
 
 impl Cluster {
@@ -226,6 +233,11 @@ impl Cluster {
         }
         trace.set_lane_name(nodes.len() as u32, "QC");
         let streams_opened = obs.counter("exec.streams_opened");
+        let pool_size =
+            if cfg.workers == 0 { crate::workers::default_workers() } else { cfg.workers };
+        let workers =
+            crate::workers::PoolHandle::new(Arc::new(crate::workers::WorkerPool::new(pool_size)));
+        crate::workers::register_pool_metrics(&obs, &workers);
         Ok(Cluster {
             nodes,
             grid,
@@ -237,7 +249,20 @@ impl Cluster {
             trace,
             events: Arc::new(EventLog::new()),
             streams_opened,
+            workers,
         })
+    }
+
+    /// The intra-node worker pool every kernel on this cluster runs
+    /// through (cheap `Arc` clone of the current pool).
+    pub fn workers(&self) -> Arc<crate::workers::WorkerPool> {
+        self.workers.get()
+    }
+
+    /// Replaces the worker pool (e.g. to compare worker counts on the same
+    /// data in benchmarks). Registered pool metrics follow the swap.
+    pub fn set_workers(&self, pool: Arc<crate::workers::WorkerPool>) {
+        self.workers.set(pool);
     }
 
     /// The cluster-wide metrics registry.
@@ -449,6 +474,15 @@ impl Cluster {
     /// `requester` is the node doing the work; a pull is accounted whenever
     /// the tile lives elsewhere.
     pub fn fetch_tile(&self, requester: NodeId, tile: &TileRef) -> Result<Vec<u8>> {
+        let raw = self.fetch_tile_raw(requester, tile)?;
+        Ok(paradise_array::lzw::maybe_decompress(&raw, tile.compressed)?)
+    }
+
+    /// Like [`Cluster::fetch_tile`] but returns the *stored* (possibly
+    /// LZW-compressed) bytes without decoding them. Region reads fetch raw
+    /// tiles serially — keeping pull accounting and failpoint ordering
+    /// deterministic — then decompress the batch on the worker pool.
+    pub fn fetch_tile_raw(&self, requester: NodeId, tile: &TileRef) -> Result<Vec<u8>> {
         let owner = tile.node as usize;
         let raw = match (&self.transport, owner == requester) {
             // A remote pull over a real transport goes through the wire:
@@ -473,7 +507,7 @@ impl Cluster {
                 std::hint::spin_loop();
             }
         }
-        Ok(paradise_array::lzw::maybe_decompress(&raw, tile.compressed)?)
+        Ok(raw)
     }
 
     /// Flushes every node's buffer pool (cold-cache start, paper §3.2).

@@ -20,7 +20,7 @@
 //! network bytes either way.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cluster;
 pub mod decluster;
@@ -34,6 +34,7 @@ pub mod stream;
 pub mod table;
 pub mod tuple;
 pub mod value;
+pub mod workers;
 
 pub use cluster::{Cluster, ClusterConfig, NetSnapshot, Node, NodeId, Transport, WireTransport};
 pub use decluster::Decluster;

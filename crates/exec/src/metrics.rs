@@ -20,6 +20,12 @@ pub struct PhaseTimes {
     pub net: NetSnapshot,
     /// Buffer-pool activity (summed over all nodes) while the phase ran.
     pub buffer: BufferStats,
+    /// Worker-pool morsels executed by this phase's kernels
+    /// ([`crate::workers`]); `0` when the phase ran no pool-driven kernel.
+    pub morsels: u64,
+    /// Busy time summed across pool workers during the phase (a subset of
+    /// the node busy time: the part spent inside morsel kernels).
+    pub worker_busy: Duration,
 }
 
 impl PhaseTimes {
@@ -207,6 +213,7 @@ mod tests {
             node_rows: Some(vec![5, 7]),
             net: NetSnapshot { bytes: 2048, tuples: 12, ..Default::default() },
             buffer: BufferStats { hits: 90, misses: 10, ..Default::default() },
+            ..Default::default()
         });
         m.sequential = ms(3);
         m.net_bytes = 4096;

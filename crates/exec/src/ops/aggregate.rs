@@ -14,6 +14,7 @@
 use crate::table::index_key;
 use crate::tuple::Tuple;
 use crate::value::Value;
+use crate::workers::{WorkerPool, TUPLE_MORSEL};
 use crate::{ExecError, Result};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -61,6 +62,44 @@ impl AggRegistry {
     }
 
     /// Registers (or replaces) an aggregate.
+    ///
+    /// The §2.4 extension path end to end — define a `product` aggregate
+    /// in terms of local/global functions, register it, and run both
+    /// phases:
+    ///
+    /// ```
+    /// use paradise_exec::ops::aggregate::{
+    ///     global_aggregate, local_aggregate, AggRegistry, AggregateFn,
+    /// };
+    /// use paradise_exec::{Tuple, Value};
+    /// use std::sync::Arc;
+    ///
+    /// let mul = Arc::new(|st: &mut Option<Tuple>, t: &Tuple| {
+    ///     let x = t.get(0)?.as_float()?;
+    ///     let p = match st {
+    ///         Some(prev) => prev.get(0)?.as_float()? * x,
+    ///         None => x,
+    ///     };
+    ///     *st = Some(Tuple::new(vec![Value::Float(p)]));
+    ///     Ok(())
+    /// });
+    /// let mut registry = AggRegistry::with_builtins();
+    /// registry.register(AggregateFn {
+    ///     name: "product".into(),
+    ///     local: mul.clone(),
+    ///     global: mul,
+    ///     finish: Arc::new(|t| Ok(t.get(0)?.clone())),
+    /// });
+    ///
+    /// let agg = registry.get("product")?;
+    /// let rows: Vec<Tuple> =
+    ///     [2.0, 3.0, 4.0].iter().map(|&v| Tuple::new(vec![Value::Float(v)])).collect();
+    /// // One-node plan: phase 1 locally, phase 2 globally.
+    /// let partials = local_aggregate(&rows, &[], agg)?;
+    /// let out = global_aggregate(vec![partials], agg)?;
+    /// assert_eq!(out[0].get(0)?, &Value::Float(24.0));
+    /// # Ok::<(), paradise_exec::ExecError>(())
+    /// ```
     pub fn register(&mut self, f: AggregateFn) {
         self.map.insert(f.name.clone(), f);
     }
@@ -102,6 +141,45 @@ pub fn local_aggregate(
     let mut out: Vec<(Vec<Value>, Tuple)> =
         groups.into_values().filter_map(|(k, state)| state.map(|s| (k, s))).collect();
     // Deterministic order for tests and stable output.
+    out.sort_by(|a, b| {
+        let ka: Vec<u8> = a.0.iter().flat_map(index_key).collect();
+        let kb: Vec<u8> = b.0.iter().flat_map(index_key).collect();
+        ka.cmp(&kb)
+    });
+    Ok(out)
+}
+
+/// [`local_aggregate`] with phase 1 running as [`TUPLE_MORSEL`]-sized
+/// morsels on a worker pool: each morsel folds its slice into per-group
+/// partial states with the aggregate's *local* function, and the morsel
+/// partials are merged **in morsel order** through the existing *global*
+/// function — the same local/global contract the cross-node phase 2 uses,
+/// so the output remains a mergeable partial. Fixed morsel boundaries
+/// (never derived from the worker count) fix the fold's association
+/// order, making the result byte-identical for every pool size.
+pub fn local_aggregate_with(
+    pool: &WorkerPool,
+    input: &[Tuple],
+    group_cols: &[usize],
+    agg: &AggregateFn,
+) -> Result<Vec<(Vec<Value>, Tuple)>> {
+    let mut per_morsel = pool
+        .run(input.len(), TUPLE_MORSEL, |range| local_aggregate(&input[range], group_cols, agg))?;
+    if per_morsel.len() <= 1 {
+        // Single morsel: exactly the serial fold.
+        return Ok(per_morsel.pop().unwrap_or_default());
+    }
+    // Merge morsel partials in morsel order via the global function.
+    let mut merged: HashMap<Vec<u8>, (Vec<Value>, Option<Tuple>)> = HashMap::new();
+    for morsel in per_morsel {
+        for (key_vals, state) in morsel {
+            let key: Vec<u8> = key_vals.iter().flat_map(index_key).collect();
+            let entry = merged.entry(key).or_insert_with(|| (key_vals, None));
+            (agg.global)(&mut entry.1, &state)?;
+        }
+    }
+    let mut out: Vec<(Vec<Value>, Tuple)> =
+        merged.into_values().filter_map(|(k, state)| state.map(|s| (k, s))).collect();
     out.sort_by(|a, b| {
         let ka: Vec<u8> = a.0.iter().flat_map(index_key).collect();
         let kb: Vec<u8> = b.0.iter().flat_map(index_key).collect();

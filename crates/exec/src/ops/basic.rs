@@ -2,6 +2,7 @@
 
 use crate::table::index_key;
 use crate::tuple::Tuple;
+use crate::workers::{WorkerPool, TUPLE_MORSEL};
 use crate::Result;
 
 /// Filters tuples by a predicate (the parallel `select` operator; each node
@@ -19,6 +20,22 @@ pub fn select(
     Ok(out)
 }
 
+/// [`select`] with the predicate evaluated in [`TUPLE_MORSEL`]-sized
+/// morsels on a worker pool. Each morsel produces keep-flags (so matching
+/// tuples are moved, not cloned); flags merge in morsel order, making the
+/// output — including which error surfaces first — byte-identical to the
+/// serial operator for every worker count.
+pub fn par_select(
+    pool: &WorkerPool,
+    input: Vec<Tuple>,
+    pred: impl Fn(&Tuple) -> Result<bool> + Sync,
+) -> Result<Vec<Tuple>> {
+    let keep = pool.map_chunks(&input, TUPLE_MORSEL, |chunk| {
+        chunk.iter().map(&pred).collect::<Result<Vec<bool>>>()
+    })?;
+    Ok(input.into_iter().zip(keep).filter_map(|(t, k)| k.then_some(t)).collect())
+}
+
 /// Maps every tuple (projection with ADT method evaluation — clip,
 /// lower_res, area … happen inside `f`). `f` returning `None` drops the
 /// tuple (used when a clip produces an empty region).
@@ -33,6 +50,26 @@ pub fn project(
         }
     }
     Ok(out)
+}
+
+/// [`project`] with the mapping evaluated in [`TUPLE_MORSEL`]-sized
+/// morsels on a worker pool (the map takes the tuple by reference so
+/// morsels can share the input). Outputs merge in morsel order —
+/// byte-identical to the serial operator for every worker count.
+pub fn par_project(
+    pool: &WorkerPool,
+    input: &[Tuple],
+    f: impl Fn(&Tuple) -> Result<Option<Tuple>> + Sync,
+) -> Result<Vec<Tuple>> {
+    pool.map_chunks(input, TUPLE_MORSEL, |chunk| {
+        let mut out = Vec::with_capacity(chunk.len());
+        for t in chunk {
+            if let Some(t) = f(t)? {
+                out.push(t);
+            }
+        }
+        Ok(out)
+    })
 }
 
 /// Sorts tuples by column `col` using the order-preserving index encoding

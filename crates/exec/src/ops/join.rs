@@ -5,8 +5,15 @@ use crate::decluster::hash_value;
 use crate::ops::basic::concat;
 use crate::table::index_key;
 use crate::tuple::Tuple;
-use crate::Result;
+use crate::workers::WorkerPool;
+use crate::{ExecError, Result};
 use std::collections::HashMap;
+
+/// Fixed morsel size (hash buckets) for the parallel build/probe phase of
+/// the Grace hash join: one morsel is a run of adjacent buckets. Fixed —
+/// never derived from the worker count — so outputs merge identically for
+/// every pool size.
+const BUCKET_MORSEL: usize = 4;
 
 /// Nested-loops join with an arbitrary predicate.
 pub fn nested_loops_join(
@@ -55,6 +62,23 @@ pub fn hash_join(
     rcol: usize,
     mem_budget: usize,
 ) -> Result<Vec<Tuple>> {
+    hash_join_with(&WorkerPool::serial(), left, lcol, right, rcol, mem_budget)
+}
+
+/// [`hash_join`] with the build/probe phase running as bucket morsels on a
+/// worker pool. Partitioning stays serial (it is a single cheap pass whose
+/// first error must be deterministic); each morsel then builds and probes
+/// a run of `BUCKET_MORSEL` (4) adjacent buckets, and the per-morsel outputs
+/// are concatenated in bucket order — byte-identical to the serial join
+/// for every worker count.
+pub fn hash_join_with(
+    pool: &WorkerPool,
+    left: &[Tuple],
+    lcol: usize,
+    right: &[Tuple],
+    rcol: usize,
+    mem_budget: usize,
+) -> Result<Vec<Tuple>> {
     // Choose the bucket count from the estimated build size.
     let build_bytes: usize = left.iter().map(|t| t.wire_size()).sum();
     let buckets = (build_bytes / mem_budget.max(1) + 1).next_power_of_two();
@@ -70,26 +94,29 @@ pub fn hash_join(
         rparts[h & (buckets - 1)].push(t);
     }
 
-    let mut out = Vec::new();
-    for (lp, rp) in lparts.iter().zip(&rparts) {
-        if lp.is_empty() || rp.is_empty() {
-            continue;
-        }
-        // Build on the left partition, keyed by the order-preserving
-        // encoding (hash collisions re-checked by key equality).
-        let mut table: HashMap<Vec<u8>, Vec<&Tuple>> = HashMap::with_capacity(lp.len());
-        for l in lp {
-            table.entry(index_key(l.get(lcol)?)).or_default().push(l);
-        }
-        for r in rp {
-            if let Some(matches) = table.get(&index_key(r.get(rcol)?)) {
-                for l in matches {
-                    out.push(concat(l, r));
+    let per_morsel = pool.run(buckets, BUCKET_MORSEL, |range| {
+        let mut out = Vec::new();
+        for (lp, rp) in lparts[range.clone()].iter().zip(&rparts[range]) {
+            if lp.is_empty() || rp.is_empty() {
+                continue;
+            }
+            // Build on the left partition, keyed by the order-preserving
+            // encoding (hash collisions re-checked by key equality).
+            let mut table: HashMap<Vec<u8>, Vec<&Tuple>> = HashMap::with_capacity(lp.len());
+            for l in lp {
+                table.entry(index_key(l.get(lcol)?)).or_default().push(l);
+            }
+            for r in rp {
+                if let Some(matches) = table.get(&index_key(r.get(rcol)?)) {
+                    for l in matches {
+                        out.push(concat(l, r));
+                    }
                 }
             }
         }
-    }
-    Ok(out)
+        Ok::<_, ExecError>(out)
+    })?;
+    Ok(per_morsel.into_iter().flatten().collect())
 }
 
 #[cfg(test)]

@@ -11,6 +11,16 @@
 //! lower-left corner of the two bounding boxes' intersection, and only by
 //! the node owning that tile — each pair is therefore reported exactly
 //! once cluster-wide.
+//!
+//! Inside one node the filter step is a **plane sweep**, not the quadratic
+//! all-pairs test: each tile's two bucket lists are sorted by bbox `lo.x`
+//! and swept forward so every x-overlapping pair is enumerated exactly
+//! once, then checked for y-overlap, the reference-point rule, and the
+//! exact refinement. Tile buckets are processed as fixed-size morsels on
+//! the cluster's worker pool ([`crate::workers`]) in sorted tile order —
+//! **the reference-point rule is evaluated per tile, never per morsel**,
+//! so morsel boundaries cannot re-introduce duplicates, and morsel-order
+//! merging keeps the output deterministic for every worker count.
 
 use crate::cluster::Cluster;
 use crate::metrics::QueryMetrics;
@@ -18,15 +28,172 @@ use crate::ops::basic::concat;
 use crate::phase::{route, run_phase};
 use crate::table::TableDef;
 use crate::tuple::Tuple;
-use crate::{NodeId, Result};
-use paradise_geom::{Rect, Shape, TileId};
+use crate::workers::TILE_MORSEL;
+use crate::{ExecError, NodeId, Result};
+use paradise_geom::{Grid, Rect, Shape, TileId};
 use std::collections::HashMap;
+
+/// Per-tile bucket lists: tuple indexes of both sides whose bounding boxes
+/// touch the tile, for every tile (owned by `node`) present on *both*
+/// sides, in ascending tile order.
+type TileBuckets = Vec<(TileId, Vec<usize>, Vec<usize>)>;
+
+/// One side's buckets plus its per-tuple bounding boxes.
+type SideBuckets = (HashMap<TileId, Vec<usize>>, Vec<Rect>);
+
+/// Buckets tuple indexes by the tiles their bounding boxes cover, keeping
+/// only tiles `node` owns (other replicas handle the rest), and returns
+/// the per-tuple bounding boxes alongside.
+fn bucket_by_tile(
+    cluster: &Cluster,
+    node: NodeId,
+    tuples: &[Tuple],
+    col: usize,
+) -> Result<SideBuckets> {
+    let grid = cluster.grid();
+    let mut buckets: HashMap<TileId, Vec<usize>> = HashMap::new();
+    let mut boxes: Vec<Rect> = Vec::with_capacity(tuples.len());
+    for (i, t) in tuples.iter().enumerate() {
+        let b = t.get(col)?.as_shape()?.bbox();
+        boxes.push(b);
+        for tile in grid.tile_ids_for_rect(&b) {
+            if cluster.node_for_tile(tile) == node {
+                buckets.entry(tile).or_default().push(i);
+            }
+        }
+    }
+    Ok((buckets, boxes))
+}
+
+/// The sorted per-tile work list: tiles present in both inputs.
+fn tile_worklist(
+    cluster: &Cluster,
+    node: NodeId,
+    left: &[Tuple],
+    lcol: usize,
+    right: &[Tuple],
+    rcol: usize,
+) -> Result<(TileBuckets, Vec<Rect>, Vec<Rect>)> {
+    let (lbuckets, lboxes) = bucket_by_tile(cluster, node, left, lcol)?;
+    let (mut rbuckets, rboxes) = bucket_by_tile(cluster, node, right, rcol)?;
+    let mut tiles: TileBuckets = lbuckets
+        .into_iter()
+        .filter_map(|(tile, lids)| rbuckets.remove(&tile).map(|rids| (tile, lids, rids)))
+        .collect();
+    // Sorted tile order makes the per-node output deterministic (the
+    // buckets come out of a HashMap) and gives morsels a stable identity.
+    tiles.sort_unstable_by_key(|(tile, _, _)| *tile);
+    Ok((tiles, lboxes, rboxes))
+}
+
+/// Candidate test shared by the sweep and the quadratic reference: bbox
+/// intersection (the y-overlap check of the sweep), the PBSM
+/// reference-point rule **for this tile**, then the exact refinement.
+#[allow(clippy::too_many_arguments)]
+fn emit_if_reference_pair(
+    grid: &Grid,
+    tile: TileId,
+    li: usize,
+    ri: usize,
+    lboxes: &[Rect],
+    rboxes: &[Rect],
+    left: &[Tuple],
+    lcol: usize,
+    right: &[Tuple],
+    rcol: usize,
+    out: &mut Vec<Tuple>,
+) -> Result<()> {
+    // Filter: bounding boxes must intersect (the sweep guarantees x; this
+    // also checks y).
+    let Some(ix) = lboxes[li].intersection(&rboxes[ri]) else {
+        return Ok(());
+    };
+    // Reference point: report the pair only in the tile holding the
+    // intersection's lower-left corner.
+    if grid.tile_of_point(&ix.lo) != tile {
+        return Ok(());
+    }
+    // Refine: exact geometry test.
+    let ls: &Shape = left[li].get(lcol)?.as_shape()?;
+    let rs: &Shape = right[ri].get(rcol)?.as_shape()?;
+    if ls.overlaps(rs) {
+        out.push(concat(&left[li], &right[ri]));
+    }
+    Ok(())
+}
+
+/// Plane-sweep filter over one tile's bucket lists: both lists are sorted
+/// by bbox `lo.x` (ties by tuple index) and swept forward, enumerating
+/// every x-overlapping pair exactly once before the y/reference/refine
+/// checks.
+#[allow(clippy::too_many_arguments)]
+fn sweep_tile(
+    grid: &Grid,
+    tile: TileId,
+    lids: &[usize],
+    rids: &[usize],
+    lboxes: &[Rect],
+    rboxes: &[Rect],
+    left: &[Tuple],
+    lcol: usize,
+    right: &[Tuple],
+    rcol: usize,
+    out: &mut Vec<Tuple>,
+) -> Result<()> {
+    fn sort_by_lo_x(ids: &[usize], boxes: &[Rect]) -> Vec<usize> {
+        let mut sorted = ids.to_vec();
+        sorted.sort_unstable_by(|&a, &b| {
+            boxes[a]
+                .lo
+                .x
+                .partial_cmp(&boxes[b].lo.x)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        sorted
+    }
+    let ls = sort_by_lo_x(lids, lboxes);
+    let rs = sort_by_lo_x(rids, rboxes);
+
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < ls.len() && j < rs.len() {
+        if lboxes[ls[i]].lo.x <= rboxes[rs[j]].lo.x {
+            // The left box starts first: pair it with every right box that
+            // starts before it ends.
+            let li = ls[i];
+            let hi_x = lboxes[li].hi.x;
+            let mut k = j;
+            while k < rs.len() && rboxes[rs[k]].lo.x <= hi_x {
+                emit_if_reference_pair(
+                    grid, tile, li, rs[k], lboxes, rboxes, left, lcol, right, rcol, out,
+                )?;
+                k += 1;
+            }
+            i += 1;
+        } else {
+            let ri = rs[j];
+            let hi_x = rboxes[ri].hi.x;
+            let mut k = i;
+            while k < ls.len() && lboxes[ls[k]].lo.x <= hi_x {
+                emit_if_reference_pair(
+                    grid, tile, ls[k], ri, lboxes, rboxes, left, lcol, right, rcol, out,
+                )?;
+                k += 1;
+            }
+            j += 1;
+        }
+    }
+    Ok(())
+}
 
 /// Filter + refine join of two local tuple batches over the cluster grid,
 /// reporting only pairs whose reference tile belongs to `node`.
 ///
 /// Inputs are the node's fragments of spatially-declustered (and therefore
-/// possibly replicated) tables.
+/// possibly replicated) tables. The filter is a per-tile plane sweep; tile
+/// buckets run as [`TILE_MORSEL`]-sized morsels on the cluster's worker
+/// pool and the outputs are merged in morsel (= sorted tile) order, so the
+/// result is identical for every worker count.
 pub fn local_tile_join(
     cluster: &Cluster,
     node: NodeId,
@@ -35,52 +202,42 @@ pub fn local_tile_join(
     right: &[Tuple],
     rcol: usize,
 ) -> Result<Vec<Tuple>> {
+    let (tiles, lboxes, rboxes) = tile_worklist(cluster, node, left, lcol, right, rcol)?;
     let grid = cluster.grid();
-    // Bucket tuple indexes by the tiles their bounding boxes cover,
-    // keeping only tiles this node owns (other copies handle the rest).
-    let mut lbuckets: HashMap<TileId, Vec<usize>> = HashMap::new();
-    let mut lboxes: Vec<Rect> = Vec::with_capacity(left.len());
-    for (i, t) in left.iter().enumerate() {
-        let b = t.get(lcol)?.as_shape()?.bbox();
-        lboxes.push(b);
-        for tile in grid.tile_ids_for_rect(&b) {
-            if cluster.node_for_tile(tile) == node {
-                lbuckets.entry(tile).or_default().push(i);
-            }
+    let pool = cluster.workers();
+    let per_morsel = pool.run(tiles.len(), TILE_MORSEL, |range| {
+        let mut out = Vec::new();
+        for (tile, lids, rids) in &tiles[range] {
+            sweep_tile(
+                grid, *tile, lids, rids, &lboxes, &rboxes, left, lcol, right, rcol, &mut out,
+            )?;
         }
-    }
-    let mut rbuckets: HashMap<TileId, Vec<usize>> = HashMap::new();
-    let mut rboxes: Vec<Rect> = Vec::with_capacity(right.len());
-    for (i, t) in right.iter().enumerate() {
-        let b = t.get(rcol)?.as_shape()?.bbox();
-        rboxes.push(b);
-        for tile in grid.tile_ids_for_rect(&b) {
-            if cluster.node_for_tile(tile) == node {
-                rbuckets.entry(tile).or_default().push(i);
-            }
-        }
-    }
+        Ok::<_, ExecError>(out)
+    })?;
+    Ok(per_morsel.into_iter().flatten().collect())
+}
 
+/// The pre-sweep quadratic filter (every left×right bbox pair per tile),
+/// kept as the reference implementation for equivalence tests and the
+/// ablation benchmark. Semantics are identical to [`local_tile_join`];
+/// only the candidate-enumeration order differs.
+pub fn local_tile_join_quadratic(
+    cluster: &Cluster,
+    node: NodeId,
+    left: &[Tuple],
+    lcol: usize,
+    right: &[Tuple],
+    rcol: usize,
+) -> Result<Vec<Tuple>> {
+    let (tiles, lboxes, rboxes) = tile_worklist(cluster, node, left, lcol, right, rcol)?;
+    let grid = cluster.grid();
     let mut out = Vec::new();
-    for (tile, lids) in &lbuckets {
-        let Some(rids) = rbuckets.get(tile) else { continue };
+    for (tile, lids, rids) in &tiles {
         for &li in lids {
             for &ri in rids {
-                // Filter: bounding boxes must intersect.
-                let Some(ix) = lboxes[li].intersection(&rboxes[ri]) else {
-                    continue;
-                };
-                // Reference point: report the pair only in the tile holding
-                // the intersection's lower-left corner.
-                if grid.tile_of_point(&ix.lo) != *tile {
-                    continue;
-                }
-                // Refine: exact geometry test.
-                let ls: &Shape = left[li].get(lcol)?.as_shape()?;
-                let rs: &Shape = right[ri].get(rcol)?.as_shape()?;
-                if ls.overlaps(rs) {
-                    out.push(concat(&left[li], &right[ri]));
-                }
+                emit_if_reference_pair(
+                    grid, *tile, li, ri, &lboxes, &rboxes, left, lcol, right, rcol, &mut out,
+                )?;
             }
         }
     }

@@ -58,6 +58,8 @@ pub fn run_phase<O: RowCounted>(
     cluster.events().emit("phase.start", &[("phase", name.into())]);
     let net0 = cluster.net.snapshot();
     let buf0 = cluster.buffer_stats_total();
+    let pool = cluster.workers();
+    let pool0 = pool.snapshot();
     let mut busy = Vec::with_capacity(cluster.num_nodes());
     let mut outs = Vec::with_capacity(cluster.num_nodes());
     let mut rows = Vec::with_capacity(cluster.num_nodes());
@@ -74,12 +76,15 @@ pub fn run_phase<O: RowCounted>(
         }
         outs.push(out);
     }
+    let pool_delta = pool.snapshot().since(&pool0);
     metrics.push_phase_record(PhaseTimes {
         name: name.to_string(),
         node_busy: busy,
         node_rows: countable.then_some(rows),
         net: cluster.net.since(net0),
         buffer: cluster.buffer_stats_total().since(buf0),
+        morsels: pool_delta.morsels,
+        worker_busy: std::time::Duration::from_nanos(pool_delta.busy_ns),
     });
     Ok(outs)
 }

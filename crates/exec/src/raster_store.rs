@@ -35,11 +35,19 @@ pub fn store_raster(
     let dims = [raster.height(), raster.width()];
     let scheme = TilingScheme::new(&dims, raster.depth().elem_type(), tile_bytes)?;
     let (tile_h, tile_w) = (scheme.tile_shape()[0], scheme.tile_shape()[1]);
-    let mut tiles = Vec::with_capacity(scheme.num_tiles());
+    // Cut the raster into tile payloads (cheap memory moves), then LZW-encode
+    // the whole batch on the worker pool — the codec dominates store cost.
+    let mut payloads = Vec::with_capacity(scheme.num_tiles());
     for i in 0..scheme.num_tiles() {
         let (lo, shape) = scheme.tile_region(i);
-        let sub = raster.array().subarray(&lo, &shape)?;
-        let (bytes, compressed) = lzw::maybe_compress(sub.data());
+        payloads.push(raster.array().subarray(&lo, &shape)?.data().to_vec());
+    }
+    let encoded = lzw::maybe_compress_batch(&cluster.workers(), &payloads);
+    // Inserts stay serial, in tile order: object ids are handed out in
+    // insertion order, so the mapping table is identical for any pool size.
+    let mut tiles = Vec::with_capacity(scheme.num_tiles());
+    for (i, (bytes, compressed)) in encoded.into_iter().enumerate() {
+        let (lo, shape) = scheme.tile_region(i);
         let owner = if decluster {
             // Geographic center of this tile picks the node.
             let px_w = raster.geo().width() / raster.width() as f64;
@@ -111,8 +119,16 @@ pub fn fetch_region(
     let w = (col1 - col0) as usize;
     let mut out = NdArray::zeros(vec![h, w], sr.depth.elem_type())?;
     let needed = sr.tiles_for_region(row0, row1, col0, col1);
+    // Fetch raw tiles serially (pull accounting and failpoint order stay
+    // deterministic), decompress the batch on the worker pool, then place
+    // the pieces serially in tile order.
+    let mut raw = Vec::with_capacity(needed.len());
     for &idx in &needed {
-        let bytes = cluster.fetch_tile(requester, &sr.tiles[idx])?;
+        let tile = &sr.tiles[idx];
+        raw.push((cluster.fetch_tile_raw(requester, tile)?, tile.compressed));
+    }
+    let decoded = lzw::maybe_decompress_batch(&cluster.workers(), &raw)?;
+    for (&idx, bytes) in needed.iter().zip(decoded) {
         let (tr0, tc0, th, tw) = sr.tile_region(idx);
         let tile = NdArray::new(vec![th as usize, tw as usize], sr.depth.elem_type(), bytes)?;
         // Intersect the tile with the requested region.

@@ -1,0 +1,111 @@
+//! Intra-node worker pool: morsel-driven parallelism inside one data
+//! server.
+//!
+//! The cluster parallelises *across* nodes (§2.2, §2.7 of the paper); this
+//! module parallelises *inside* each node's operator kernels in the style
+//! of "Parallel In-Memory Evaluation of Spatial Joins" (Tsitsigkos &
+//! Mamoulis): inputs are cut into fixed-size morsels, claimed dynamically
+//! by workers, and merged back **in morsel order** so results are
+//! byte-identical for every pool size (see [`WorkerPool`] for the full
+//! determinism rule). The pool size comes from
+//! `ParadiseConfig::with_workers(n)` (0 = one worker per available core).
+//!
+//! Kernels driven through the pool:
+//!
+//! - PBSM tile buckets in [`crate::ops::spatial_join`] (plane-sweep filter
+//!   per tile, morsel = a run of sorted tiles),
+//! - Grace hash-join partitions in [`crate::ops::join`],
+//! - per-morsel partial aggregation in [`crate::ops::aggregate`],
+//! - predicate scans in [`crate::ops::basic`],
+//! - LZW tile compress/decompress batches in `paradise_array::lzw` (used
+//!   by [`crate::raster_store`]).
+//!
+//! Per-run busy time and morsel counts accumulate in the pool's counters;
+//! [`register_pool_metrics`] publishes them into the cluster's obs
+//! registry and the measured phase driver snapshots them per phase so
+//! `EXPLAIN ANALYZE` can annotate operators with `morsels=`.
+
+use std::sync::{Arc, RwLock};
+
+use paradise_obs::MetricsRegistry;
+pub use paradise_util::workers::{
+    default_workers, PoolMode, PoolSnapshot, WorkerPool, BLOB_MORSEL, TILE_MORSEL, TUPLE_MORSEL,
+};
+
+/// A shared, swappable handle to a cluster's worker pool.
+///
+/// Metrics collectors and phase drivers hold the handle (stable for the
+/// cluster's lifetime) while benchmarks and tests may swap the pool
+/// underneath it ([`PoolHandle::set`]) to compare worker counts on the
+/// same data.
+pub struct PoolHandle {
+    inner: RwLock<Arc<WorkerPool>>,
+}
+
+impl PoolHandle {
+    /// Wraps a pool in a shared handle.
+    pub fn new(pool: Arc<WorkerPool>) -> Arc<PoolHandle> {
+        Arc::new(PoolHandle { inner: RwLock::new(pool) })
+    }
+
+    /// The current pool (cheap `Arc` clone).
+    pub fn get(&self) -> Arc<WorkerPool> {
+        self.inner.read().expect("pool handle").clone()
+    }
+
+    /// Replaces the pool; subsequent kernel invocations use the new one.
+    pub fn set(&self, pool: Arc<WorkerPool>) {
+        *self.inner.write().expect("pool handle") = pool;
+    }
+}
+
+impl std::fmt::Debug for PoolHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoolHandle").field("pool", &*self.get()).finish()
+    }
+}
+
+/// Publishes the pool's counters into a metrics registry as lazy
+/// collectors: `exec.worker.pool_size`, `exec.worker.runs`,
+/// `exec.worker.morsels`, and `exec.worker.busy_ns`. Reads go through the
+/// handle, so a swapped pool is picked up automatically.
+pub fn register_pool_metrics(obs: &MetricsRegistry, handle: &Arc<PoolHandle>) {
+    let h = handle.clone();
+    obs.register_collector("exec.worker.pool_size", move || h.get().workers() as u64);
+    let h = handle.clone();
+    obs.register_collector("exec.worker.runs", move || h.get().snapshot().runs);
+    let h = handle.clone();
+    obs.register_collector("exec.worker.morsels", move || h.get().snapshot().morsels);
+    let h = handle.clone();
+    obs.register_collector("exec.worker.busy_ns", move || h.get().snapshot().busy_ns);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_swaps_pools_under_collectors() {
+        let handle = PoolHandle::new(Arc::new(WorkerPool::new(2)));
+        let obs = MetricsRegistry::new();
+        register_pool_metrics(&obs, &handle);
+        let size = |obs: &MetricsRegistry| {
+            obs.samples()
+                .into_iter()
+                .find(|s| s.name == "exec.worker.pool_size")
+                .map(|s| s.value)
+                .unwrap()
+        };
+        assert_eq!(size(&obs), 2);
+        handle.set(Arc::new(WorkerPool::new(7)));
+        assert_eq!(size(&obs), 7);
+        handle.get().run(10, 1, |_| Ok::<_, ()>(())).unwrap();
+        let morsels = obs
+            .samples()
+            .into_iter()
+            .find(|s| s.name == "exec.worker.morsels")
+            .map(|s| s.value)
+            .unwrap();
+        assert_eq!(morsels, 10);
+    }
+}

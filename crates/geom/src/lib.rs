@@ -23,7 +23,7 @@
 //! mirroring the paper's geo-registration of AVHRR rasters and DCW vectors.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod algorithms;
 pub mod circle;

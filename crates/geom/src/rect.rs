@@ -86,6 +86,15 @@ impl Rect {
 
     /// True if the rectangles share any area or boundary (closed-set
     /// semantics: touching rectangles intersect).
+    ///
+    /// ```
+    /// use paradise_geom::{Point, Rect};
+    ///
+    /// let r = |x0, y0, x1, y1| Rect::from_corners(Point::new(x0, y0), Point::new(x1, y1)).unwrap();
+    /// assert!(r(0.0, 0.0, 2.0, 2.0).intersects(&r(1.0, 1.0, 3.0, 3.0)));
+    /// assert!(r(0.0, 0.0, 1.0, 1.0).intersects(&r(1.0, 1.0, 2.0, 2.0))); // touching corners
+    /// assert!(!r(0.0, 0.0, 1.0, 1.0).intersects(&r(2.0, 2.0, 3.0, 3.0)));
+    /// ```
     #[inline]
     pub fn intersects(&self, other: &Rect) -> bool {
         self.lo.x <= other.hi.x
@@ -110,6 +119,21 @@ impl Rect {
     }
 
     /// The intersection rectangle, or `None` when disjoint.
+    ///
+    /// The lower-left corner of this rectangle is the PBSM *reference
+    /// point* used by the spatial join to report each candidate pair
+    /// exactly once (see `paradise_exec::ops::spatial_join`).
+    ///
+    /// ```
+    /// use paradise_geom::{Point, Rect};
+    ///
+    /// let a = Rect::from_corners(Point::new(0.0, 0.0), Point::new(4.0, 4.0)).unwrap();
+    /// let b = Rect::from_corners(Point::new(2.0, 1.0), Point::new(6.0, 3.0)).unwrap();
+    /// let ix = a.intersection(&b).unwrap();
+    /// assert_eq!((ix.lo.x, ix.lo.y, ix.hi.x, ix.hi.y), (2.0, 1.0, 4.0, 3.0));
+    /// let far = Rect::from_corners(Point::new(9.0, 9.0), Point::new(10.0, 10.0)).unwrap();
+    /// assert!(a.intersection(&far).is_none());
+    /// ```
     pub fn intersection(&self, other: &Rect) -> Option<Rect> {
         if !self.intersects(other) {
             return None;

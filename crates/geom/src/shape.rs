@@ -56,6 +56,21 @@ impl Shape {
     /// Exact `overlaps` predicate between any two shapes (closed-region
     /// semantics). This is the refinement step run after the bounding-box
     /// filter; callers should have already checked `bbox` intersection.
+    ///
+    /// ```
+    /// use paradise_geom::{Point, Polyline, Shape};
+    ///
+    /// let line = |pts: &[(f64, f64)]| {
+    ///     Shape::Polyline(
+    ///         Polyline::new(pts.iter().map(|&(x, y)| Point::new(x, y)).collect()).unwrap(),
+    ///     )
+    /// };
+    /// let river = line(&[(-10.0, -10.0), (10.0, 10.0)]);
+    /// let road = line(&[(-10.0, 10.0), (10.0, -10.0)]); // crosses at the origin
+    /// let canal = line(&[(20.0, 0.0), (30.0, 0.0)]); // far away
+    /// assert!(river.overlaps(&road));
+    /// assert!(!river.overlaps(&canal));
+    /// ```
     pub fn overlaps(&self, other: &Shape) -> bool {
         use Shape::*;
         if !self.bbox().intersects(&other.bbox()) {

@@ -28,7 +28,7 @@
 //! them.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod conn;
 pub mod flow;

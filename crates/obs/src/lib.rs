@@ -23,7 +23,7 @@
 //!   [`MetricSample`] groups.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod events;
 pub mod exporter;

@@ -12,7 +12,7 @@
 //! plan selection and execution live in the `paradise` crate.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod ast;
 pub mod lexer;

@@ -28,7 +28,7 @@
 //!   Sort-Tile-Recursive bulk loading, serializable into a large object.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod btree;
 pub mod buffer;

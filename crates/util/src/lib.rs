@@ -7,10 +7,11 @@
 //! `proptest`) are replaced by the small, std-only implementations here.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod failpoint;
 pub mod rng;
 pub mod sync;
+pub mod workers;
 
 pub use rng::Rng;

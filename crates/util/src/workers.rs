@@ -1,0 +1,452 @@
+//! Intra-node morsel parallelism: a small, std-only worker pool.
+//!
+//! The paper's Paradise parallelises *across* data servers (§2.2, §2.7);
+//! this module parallelises *inside* one node, in the style of
+//! morsel-driven execution: a kernel's input is cut into fixed-size
+//! **morsels** (index ranges), workers claim morsels dynamically from a
+//! shared atomic counter, and the per-morsel outputs are merged back **in
+//! morsel order**.
+//!
+//! ## Determinism rule
+//!
+//! Two properties make every pool-driven kernel bit-reproducible:
+//!
+//! 1. **Morsel boundaries depend only on the input length and the kernel's
+//!    fixed morsel size — never on the worker count.** Floating-point
+//!    reductions therefore associate identically whether the pool has 1 or
+//!    8 workers; only *which thread* runs a morsel varies.
+//! 2. **Outputs are merged in morsel index order**, and the first error is
+//!    the one from the lowest-numbered failing morsel.
+//!
+//! Consequently `WorkerPool::new(1)` produces byte-for-byte the output of a
+//! plain serial loop, and any worker count produces byte-for-byte the
+//! output of any other — the invariant the Local-vs-Tcp byte-identity and
+//! chaos suites rely on.
+//!
+//! ## Measured mode
+//!
+//! [`WorkerPool::measured`] executes morsels inline while *timing each
+//! morsel* and greedily assigning it to the least-loaded of `n` virtual
+//! workers — the same list-scheduling a real dynamic pool performs. The
+//! resulting [`WorkerPool::critical_path`] is the kernel's simulated
+//! parallel time, consistent with the engine's shared-nothing cost model
+//! (`simulated_time = Σ_phases max_node(busy)`), and is what the committed
+//! benchmarks report on single-core CI hosts.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Fixed morsel size (tuples) for row-shaped kernels (scans, joins,
+/// aggregation). Small enough to load-balance, large enough to amortise
+/// the claim.
+pub const TUPLE_MORSEL: usize = 1024;
+
+/// Fixed morsel size (tiles) for PBSM tile-bucket kernels: one morsel is a
+/// run of adjacent tiles in sorted tile order.
+pub const TILE_MORSEL: usize = 8;
+
+/// Fixed morsel size for large-blob kernels (LZW tile codecs): one blob
+/// per morsel, since a single tile is already thousands of bytes of work.
+pub const BLOB_MORSEL: usize = 1;
+
+/// How a [`WorkerPool`] executes morsels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolMode {
+    /// Real OS threads (scoped), dynamic morsel claiming. Falls back to an
+    /// inline loop when one worker would run alone.
+    Threads,
+    /// Inline execution that times each morsel and list-schedules it onto
+    /// virtual workers; used by benchmarks to report the parallel
+    /// critical path on machines with fewer cores than workers.
+    Measured,
+}
+
+/// Monotonic counters describing everything a pool has executed.
+///
+/// Snapshot before and after a region and diff with [`PoolSnapshot::since`]
+/// to attribute morsels/busy-time to a phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolSnapshot {
+    /// Number of `run` invocations (one per kernel call).
+    pub runs: u64,
+    /// Total morsels executed.
+    pub morsels: u64,
+    /// Total busy nanoseconds summed across all workers.
+    pub busy_ns: u64,
+}
+
+impl PoolSnapshot {
+    /// The counters accumulated since `earlier` was taken.
+    pub fn since(&self, earlier: &PoolSnapshot) -> PoolSnapshot {
+        PoolSnapshot {
+            runs: self.runs.saturating_sub(earlier.runs),
+            morsels: self.morsels.saturating_sub(earlier.morsels),
+            busy_ns: self.busy_ns.saturating_sub(earlier.busy_ns),
+        }
+    }
+}
+
+/// A fixed-size intra-node worker pool executing kernels as ordered
+/// morsels.
+///
+/// ```
+/// use paradise_util::workers::WorkerPool;
+///
+/// let pool = WorkerPool::new(4);
+/// let input: Vec<u64> = (0..10_000).collect();
+/// // One output per morsel, merged in morsel order.
+/// let partial_sums = pool
+///     .run(input.len(), 1024, |r| Ok::<u64, ()>(input[r].iter().sum()))
+///     .unwrap();
+/// assert_eq!(partial_sums.iter().sum::<u64>(), input.iter().sum::<u64>());
+/// // Morsel boundaries don't depend on worker count, so any pool size
+/// // yields the identical partials.
+/// let serial = WorkerPool::new(1)
+///     .run(input.len(), 1024, |r| Ok::<u64, ()>(input[r].iter().sum()))
+///     .unwrap();
+/// assert_eq!(partial_sums, serial);
+/// ```
+pub struct WorkerPool {
+    workers: usize,
+    mode: PoolMode,
+    runs: AtomicU64,
+    morsels: AtomicU64,
+    busy_ns: AtomicU64,
+    last_busy: Mutex<Vec<Duration>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers)
+            .field("mode", &self.mode)
+            .finish()
+    }
+}
+
+/// Number of workers used when a size of `0` ("auto") is requested: the
+/// host's available parallelism, or 1 if it cannot be determined.
+pub fn default_workers() -> usize {
+    thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+impl WorkerPool {
+    /// A pool of `workers` OS threads (clamped to at least 1). Pass the
+    /// result of [`default_workers`] for one worker per core.
+    pub fn new(workers: usize) -> Self {
+        Self::with_mode(workers, PoolMode::Threads)
+    }
+
+    /// A single-worker pool: every kernel runs as a plain inline loop,
+    /// byte-identical to pre-pool serial execution.
+    pub fn serial() -> Self {
+        Self::new(1)
+    }
+
+    /// A pool of `workers` *virtual* workers in [`PoolMode::Measured`]:
+    /// morsels run inline but are timed and list-scheduled so
+    /// [`WorkerPool::critical_path`] reports the simulated parallel time.
+    pub fn measured(workers: usize) -> Self {
+        Self::with_mode(workers, PoolMode::Measured)
+    }
+
+    fn with_mode(workers: usize, mode: PoolMode) -> Self {
+        let workers = workers.max(1);
+        WorkerPool {
+            workers,
+            mode,
+            runs: AtomicU64::new(0),
+            morsels: AtomicU64::new(0),
+            busy_ns: AtomicU64::new(0),
+            last_busy: Mutex::new(vec![Duration::ZERO; workers]),
+        }
+    }
+
+    /// The pool size.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The execution mode.
+    pub fn mode(&self) -> PoolMode {
+        self.mode
+    }
+
+    /// Current values of the pool's monotonic counters.
+    pub fn snapshot(&self) -> PoolSnapshot {
+        PoolSnapshot {
+            runs: self.runs.load(Ordering::Relaxed),
+            morsels: self.morsels.load(Ordering::Relaxed),
+            busy_ns: self.busy_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Per-worker busy time of the most recent `run`.
+    pub fn last_worker_busy(&self) -> Vec<Duration> {
+        self.last_busy.lock().expect("pool lock").clone()
+    }
+
+    /// Parallel critical path of the most recent `run`: the busy time of
+    /// its most loaded (real or virtual) worker.
+    pub fn critical_path(&self) -> Duration {
+        self.last_worker_busy().into_iter().max().unwrap_or(Duration::ZERO)
+    }
+
+    /// Execute a kernel over `0..len` as fixed-size morsels and return one
+    /// output per morsel, **in morsel order**.
+    ///
+    /// `morsel_len` must be the kernel's fixed constant (e.g.
+    /// [`TUPLE_MORSEL`]) — never derived from the worker count — so that
+    /// morsel boundaries, and therefore all floating-point association
+    /// orders, are identical for every pool size. On error the lowest
+    /// failing morsel index wins, matching what a serial loop would report
+    /// first.
+    pub fn run<O, E, F>(&self, len: usize, morsel_len: usize, f: F) -> Result<Vec<O>, E>
+    where
+        O: Send,
+        E: Send,
+        F: Fn(Range<usize>) -> Result<O, E> + Sync,
+    {
+        let morsel_len = morsel_len.max(1);
+        let num_morsels = len.div_ceil(morsel_len);
+        let morsel_range = |i: usize| i * morsel_len..((i + 1) * morsel_len).min(len);
+
+        self.runs.fetch_add(1, Ordering::Relaxed);
+        self.morsels.fetch_add(num_morsels as u64, Ordering::Relaxed);
+
+        let threads = self.workers.min(num_morsels);
+        if threads <= 1 || self.mode == PoolMode::Measured {
+            self.run_inline(num_morsels, &morsel_range, &f)
+        } else {
+            self.run_threads(threads, num_morsels, &morsel_range, &f)
+        }
+    }
+
+    /// Inline execution (single worker, or Measured mode's virtual
+    /// list-scheduling).
+    fn run_inline<O, E>(
+        &self,
+        num_morsels: usize,
+        morsel_range: &dyn Fn(usize) -> Range<usize>,
+        f: &dyn Fn(Range<usize>) -> Result<O, E>,
+    ) -> Result<Vec<O>, E> {
+        let mut virt = vec![Duration::ZERO; self.workers];
+        let mut out = Vec::with_capacity(num_morsels);
+        let mut total = Duration::ZERO;
+        let mut result = Ok(());
+        for m in 0..num_morsels {
+            let t0 = Instant::now();
+            let r = f(morsel_range(m));
+            let took = t0.elapsed();
+            total += took;
+            // Greedy list scheduling: the next morsel goes to whichever
+            // (virtual) worker frees up first — what dynamic claiming does.
+            if let Some(w) = virt.iter_mut().min() {
+                *w += took;
+            }
+            match r {
+                Ok(o) => out.push(o),
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            }
+        }
+        self.busy_ns.fetch_add(total.as_nanos() as u64, Ordering::Relaxed);
+        *self.last_busy.lock().expect("pool lock") = virt;
+        result.map(|()| out)
+    }
+
+    /// Real scoped threads with dynamic morsel claiming.
+    fn run_threads<O, E, F>(
+        &self,
+        threads: usize,
+        num_morsels: usize,
+        morsel_range: &(dyn Fn(usize) -> Range<usize> + Sync),
+        f: &F,
+    ) -> Result<Vec<O>, E>
+    where
+        O: Send,
+        E: Send,
+        F: Fn(Range<usize>) -> Result<O, E> + Sync,
+    {
+        // One entry per worker: its claimed (morsel index, result) pairs
+        // plus its total busy time.
+        type WorkerOut<O, E> = (Vec<(usize, Result<O, E>)>, Duration);
+        let next = AtomicUsize::new(0);
+        let per_worker: Vec<WorkerOut<O, E>> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        let mut busy = Duration::ZERO;
+                        loop {
+                            let m = next.fetch_add(1, Ordering::Relaxed);
+                            if m >= num_morsels {
+                                break;
+                            }
+                            let t0 = Instant::now();
+                            let r = f(morsel_range(m));
+                            busy += t0.elapsed();
+                            local.push((m, r));
+                        }
+                        (local, busy)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("pool worker panicked")).collect()
+        });
+
+        let mut busy_per_worker = vec![Duration::ZERO; self.workers];
+        let mut slots: Vec<Option<Result<O, E>>> = (0..num_morsels).map(|_| None).collect();
+        let mut total = Duration::ZERO;
+        for (w, (local, busy)) in per_worker.into_iter().enumerate() {
+            busy_per_worker[w] = busy;
+            total += busy;
+            for (m, r) in local {
+                slots[m] = Some(r);
+            }
+        }
+        self.busy_ns.fetch_add(total.as_nanos() as u64, Ordering::Relaxed);
+        *self.last_busy.lock().expect("pool lock") = busy_per_worker;
+
+        // Merge in morsel order; the lowest failing morsel reports first.
+        let mut out = Vec::with_capacity(num_morsels);
+        for slot in slots {
+            match slot.expect("all morsels claimed") {
+                Ok(o) => out.push(o),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Map a slice through the pool in fixed-size chunks and concatenate
+    /// the per-morsel output vectors in morsel order.
+    ///
+    /// ```
+    /// use paradise_util::workers::WorkerPool;
+    ///
+    /// let pool = WorkerPool::new(2);
+    /// let words = ["tile", "sweep", "morsel", "refine"];
+    /// let upper = pool
+    ///     .map_chunks(&words, 2, |chunk| {
+    ///         Ok::<_, ()>(chunk.iter().map(|w| w.to_uppercase()).collect())
+    ///     })
+    ///     .unwrap();
+    /// assert_eq!(upper, ["TILE", "SWEEP", "MORSEL", "REFINE"]);
+    /// ```
+    pub fn map_chunks<T, O, E, F>(&self, items: &[T], morsel_len: usize, f: F) -> Result<Vec<O>, E>
+    where
+        T: Sync,
+        O: Send,
+        E: Send,
+        F: Fn(&[T]) -> Result<Vec<O>, E> + Sync,
+    {
+        let per_morsel = self.run(items.len(), morsel_len, |r| f(&items[r]))?;
+        Ok(per_morsel.into_iter().flatten().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outputs_in_morsel_order_across_worker_counts() {
+        let input: Vec<usize> = (0..10_007).collect();
+        let reference = WorkerPool::new(1)
+            .map_chunks(&input, 64, |c| Ok::<_, ()>(c.iter().map(|x| x * 3).collect()))
+            .unwrap();
+        for workers in [2, 4, 7] {
+            let pool = WorkerPool::new(workers);
+            let got = pool
+                .map_chunks(&input, 64, |c| Ok::<_, ()>(c.iter().map(|x| x * 3).collect()))
+                .unwrap();
+            assert_eq!(got, reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn error_is_lowest_failing_morsel() {
+        // Morsels 3 and 7 fail; every worker count must report morsel 3.
+        for workers in [1, 2, 4, 7] {
+            let pool = WorkerPool::new(workers);
+            let err = pool
+                .run(100, 10, |r| {
+                    let m = r.start / 10;
+                    if m == 3 || m == 7 {
+                        Err(m)
+                    } else {
+                        Ok(m)
+                    }
+                })
+                .unwrap_err();
+            assert_eq!(err, 3, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let pool = WorkerPool::new(4);
+        let out = pool.run(0, 16, |_| Ok::<usize, ()>(0)).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(pool.snapshot().morsels, 0);
+        assert_eq!(pool.snapshot().runs, 1);
+    }
+
+    #[test]
+    fn snapshot_counts_runs_and_morsels() {
+        let pool = WorkerPool::new(2);
+        let before = pool.snapshot();
+        pool.run(100, 10, |_| Ok::<_, ()>(())).unwrap();
+        pool.run(5, 10, |_| Ok::<_, ()>(())).unwrap();
+        let delta = pool.snapshot().since(&before);
+        assert_eq!(delta.runs, 2);
+        assert_eq!(delta.morsels, 11);
+    }
+
+    #[test]
+    fn measured_mode_schedules_virtual_workers() {
+        let pool = WorkerPool::measured(4);
+        pool.run(64, 1, |_| {
+            // A tiny but non-zero amount of work per morsel.
+            std::hint::black_box((0..2_000u64).sum::<u64>());
+            Ok::<_, ()>(())
+        })
+        .unwrap();
+        let busy = pool.last_worker_busy();
+        assert_eq!(busy.len(), 4);
+        // All four virtual workers got some share of 64 equal morsels.
+        assert!(busy.iter().all(|d| !d.is_zero()));
+        let total: Duration = busy.iter().sum();
+        let critical = pool.critical_path();
+        // Critical path must be well below the serial total: 64 equal
+        // morsels over 4 workers should land near total/4.
+        assert!(critical < total, "critical {critical:?} vs total {total:?}");
+    }
+
+    #[test]
+    fn morsel_boundaries_ignore_worker_count() {
+        // Float accumulation order is fixed by morsel size, so partial sums
+        // are bit-identical across pool sizes.
+        let input: Vec<f64> = (0..5_000).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let sums = |workers: usize| -> Vec<f64> {
+            WorkerPool::new(workers)
+                .run(input.len(), TUPLE_MORSEL, |r| Ok::<_, ()>(input[r].iter().sum::<f64>()))
+                .unwrap()
+        };
+        let reference = sums(1);
+        for workers in [2, 4, 7] {
+            let got = sums(workers);
+            assert_eq!(
+                got.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                reference.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+                "workers={workers}"
+            );
+        }
+    }
+}
